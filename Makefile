@@ -1,0 +1,34 @@
+# Convenience targets for the PivotScale reproduction.
+
+.PHONY: install test test-fast bench report figures examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report
+
+figures:
+	python -m repro figures
+
+examples:
+	python examples/quickstart.py
+	python examples/social_network_analysis.py
+	python examples/ordering_explorer.py skitter
+	python examples/scaling_study.py webedu 8
+	python examples/community_detection.py
+	python examples/approximate_counting.py
+	python examples/livejournal_challenge.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist
+	find . -name __pycache__ -type d -exec rm -rf {} +

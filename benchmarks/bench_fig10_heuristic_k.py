@@ -1,0 +1,11 @@
+"""Fig. 10: total time vs clique size for approx-core / degree /
+heuristic-selected orderings."""
+
+from conftest import report
+
+from repro.bench.experiments import fig10_heuristic_vs_k
+
+
+def test_fig10_heuristic_vs_k(benchmark):
+    result = benchmark.pedantic(fig10_heuristic_vs_k, rounds=1, iterations=1)
+    report(result)

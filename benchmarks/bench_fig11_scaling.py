@@ -1,0 +1,11 @@
+"""Fig. 11: self-relative parallel scaling, 1-64 modeled threads,
+three subgraph structures."""
+
+from conftest import report
+
+from repro.bench.experiments import fig11_scaling
+
+
+def test_fig11_scaling(benchmark):
+    result = benchmark.pedantic(fig11_scaling, rounds=1, iterations=1)
+    report(result)

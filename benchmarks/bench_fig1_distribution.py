@@ -1,0 +1,10 @@
+"""Fig. 1: k-clique frequency distributions (peak near k_max / 2)."""
+
+from conftest import report
+
+from repro.bench.experiments import fig1_distribution
+
+
+def test_fig1_distribution(benchmark):
+    result = benchmark.pedantic(fig1_distribution, rounds=1, iterations=1)
+    report(result)

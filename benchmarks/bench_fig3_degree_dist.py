@@ -1,0 +1,12 @@
+"""Fig. 3: DAG out-degree distributions under core vs degree ordering."""
+
+from conftest import report
+
+from repro.bench.experiments import fig3_degree_distributions
+
+
+def test_fig3_degree_distributions(benchmark):
+    result = benchmark.pedantic(
+        fig3_degree_distributions, rounds=1, iterations=1
+    )
+    report(result)

@@ -1,0 +1,10 @@
+"""Fig. 5: normalized max out-degree of every ordering (eps sweep)."""
+
+from conftest import report
+
+from repro.bench.experiments import fig5_ordering_quality
+
+
+def test_fig5_ordering_quality(benchmark):
+    result = benchmark.pedantic(fig5_ordering_quality, rounds=1, iterations=1)
+    report(result)

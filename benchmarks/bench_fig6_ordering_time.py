@@ -1,0 +1,10 @@
+"""Fig. 6: ordering-time speedup over the sequential core ordering."""
+
+from conftest import report
+
+from repro.bench.experiments import fig6_ordering_time
+
+
+def test_fig6_ordering_time(benchmark):
+    result = benchmark.pedantic(fig6_ordering_time, rounds=1, iterations=1)
+    report(result)

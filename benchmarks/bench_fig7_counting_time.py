@@ -1,0 +1,10 @@
+"""Fig. 7: counting-time speedup over the core ordering (k = 8)."""
+
+from conftest import report
+
+from repro.bench.experiments import fig7_counting_time
+
+
+def test_fig7_counting_time(benchmark):
+    result = benchmark.pedantic(fig7_counting_time, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,10 @@
+"""Fig. 8: total-time speedup over the core ordering (k = 8)."""
+
+from conftest import report
+
+from repro.bench.experiments import fig8_total_time
+
+
+def test_fig8_total_time(benchmark):
+    result = benchmark.pedantic(fig8_total_time, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,10 @@
+"""Fig. 9: dense / sparse / remap subgraph-structure comparison."""
+
+from conftest import report
+
+from repro.bench.experiments import fig9_structures
+
+
+def test_fig9_structures(benchmark):
+    result = benchmark.pedantic(fig9_structures, rounds=1, iterations=1)
+    report(result)

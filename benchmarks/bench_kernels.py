@@ -1,0 +1,64 @@
+"""Microbenchmarks of the hot kernels (real wall-clock timing).
+
+Unlike the table/figure benches (which reproduce the paper's modeled
+results), these time the actual Python kernels with pytest-benchmark so
+performance regressions in the implementation are visible.
+"""
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.counting.structures import STRUCTURES
+from repro.datasets import load
+from repro.ordering import (
+    approx_core_ordering,
+    core_ordering,
+    degree_ordering,
+    directionalize,
+)
+
+
+@pytest.fixture(scope="module")
+def skitter():
+    return load("skitter")
+
+
+@pytest.fixture(scope="module")
+def skitter_dag(skitter):
+    return directionalize(skitter, core_ordering(skitter))
+
+
+def test_kernel_core_ordering(benchmark, skitter):
+    benchmark(core_ordering, skitter)
+
+
+def test_kernel_degree_ordering(benchmark, skitter):
+    benchmark(degree_ordering, skitter)
+
+
+def test_kernel_approx_core_ordering(benchmark, skitter):
+    benchmark(approx_core_ordering, skitter, -0.5)
+
+
+def test_kernel_directionalize(benchmark, skitter):
+    ordering = core_ordering(skitter)
+    benchmark(directionalize, skitter, ordering)
+
+
+@pytest.mark.parametrize("structure", ["dense", "sparse", "remap"])
+def test_kernel_subgraph_build(benchmark, skitter, skitter_dag, structure):
+    import numpy as np
+
+    struct = STRUCTURES[structure](skitter, skitter_dag)
+    hub = int(np.argmax(skitter_dag.degrees))
+    benchmark(struct.build, hub)
+
+
+@pytest.mark.parametrize("structure", ["dense", "sparse", "remap"])
+def test_kernel_counting_k8(benchmark, skitter, structure):
+    ordering = core_ordering(skitter)
+    result = benchmark.pedantic(
+        count_kcliques, args=(skitter, 8, ordering),
+        kwargs={"structure": structure}, rounds=2, iterations=1,
+    )
+    assert result.count > 0

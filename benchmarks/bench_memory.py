@@ -1,0 +1,42 @@
+"""Process-memory comparison (paper Sec. VI-D prose).
+
+The paper measures max RSS at 64 threads: dense needs 811.67 MB (DBLP)
+to 265.69 GB (Friendster); the compact structures reduce that by
+6.63-40.24x (geomean 17.39x).  This bench evaluates the analytic memory
+model at the paper-scale graph sizes.
+"""
+
+from repro.bench.harness import Table, geometric_mean
+from repro.bench.paper_data import TABLE1, TABLE3
+from repro.perfmodel.memory import memory_reduction, process_memory_bytes
+
+
+def test_memory_model(benchmark):
+    def run():
+        rows = []
+        for name, (v, e, _, _) in TABLE1.items():
+            maxout = TABLE3[name]["core"][3]
+            kw = dict(num_vertices=v * 1e6, num_edges=e * 1e6,
+                      threads=64, max_out_degree=maxout)
+            dense = process_memory_bytes(structure="dense", **kw)
+            remap = process_memory_bytes(structure="remap", **kw)
+            rows.append((name, dense, remap, dense / remap))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(
+        "modeled process memory at 64 threads (paper Sec. VI-D)",
+        ["graph", "dense (GB)", "remap (GB)", "reduction"],
+    )
+    for name, dense, remap, red in rows:
+        t.add(name, f"{dense / 1e9:.2f}", f"{remap / 1e9:.3f}", f"{red:.1f}x")
+    gm = geometric_mean([r for *_, r in rows])
+    t.note(f"geomean reduction {gm:.2f}x (paper: 17.39x, range 6.63-40.24x)")
+    print()
+    t.show()
+    assert all(2.0 < red < 60.0 for *_, red in rows)
+    assert 5.0 < gm < 30.0
+    dblp = rows[0][1]
+    friendster = rows[-1][1]
+    assert 0.2e9 < dblp < 3e9, "DBLP dense ~ paper's 811.67 MB scale"
+    assert 80e9 < friendster < 800e9, "Friendster dense ~ paper's 265.69 GB"

@@ -1,0 +1,10 @@
+"""Table I: the input-graph suite (analog vs paper columns)."""
+
+from conftest import report
+
+from repro.bench.experiments import table1_graph_suite
+
+
+def test_table1_graph_suite(benchmark):
+    result = benchmark.pedantic(table1_graph_suite, rounds=1, iterations=1)
+    report(result)

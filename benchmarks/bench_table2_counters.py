@@ -1,0 +1,10 @@
+"""Table II: counting-phase counters, degree normalized to core."""
+
+from conftest import report
+
+from repro.bench.experiments import table2_counters
+
+
+def test_table2_counters(benchmark):
+    result = benchmark.pedantic(table2_counters, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,10 @@
+"""Table III: sequential core vs parallel degree ordering, end to end."""
+
+from conftest import report
+
+from repro.bench.experiments import table3_orderings
+
+
+def test_table3_orderings(benchmark):
+    result = benchmark.pedantic(table3_orderings, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,10 @@
+"""Table IV: order-selecting heuristic inputs and decisions."""
+
+from conftest import report
+
+from repro.bench.experiments import table4_heuristic
+
+
+def test_table4_heuristic(benchmark):
+    result = benchmark.pedantic(table4_heuristic, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,11 @@
+"""Table V / Fig. 12: Pivoter, Arb-Count, GPU-Pivot, PivotScale across
+clique sizes k = 6..13."""
+
+from conftest import report
+
+from repro.bench.experiments import table5_comparison
+
+
+def test_table5_comparison(benchmark):
+    result = benchmark.pedantic(table5_comparison, rounds=1, iterations=1)
+    report(result)

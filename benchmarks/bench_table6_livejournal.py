@@ -1,0 +1,10 @@
+"""Table VI / Fig. 13: the clique-rich LiveJournal workload."""
+
+from conftest import report
+
+from repro.bench.experiments import table6_livejournal
+
+
+def test_table6_livejournal(benchmark):
+    result = benchmark.pedantic(table6_livejournal, rounds=1, iterations=1)
+    report(result)

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper table/figure: it runs the
+canonical experiment from :mod:`repro.bench.experiments`, prints the
+reproduced rows next to the paper's numbers, asserts the shape checks,
+and times a representative kernel with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(result) -> None:
+    """Print an experiment's tables + shape-check verdicts and fail the
+    bench if a shape check regressed."""
+    print()
+    result.show()
+    failures = [d for d, ok in result.shape_checks if not ok]
+    assert not failures, f"shape checks failed: {failures}"
+
+
+@pytest.fixture(scope="session")
+def suite_graphs():
+    """Pre-build all dataset analogs once per session."""
+    from repro.datasets import dataset_names, load
+
+    return {name: load(name) for name in dataset_names()}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Community detection and dense-subgraph discovery with cliques.
+
+The paper's introduction motivates clique counting with community
+detection ([1]-[4]); this example runs both canonical consumers of the
+clique machinery on a synthetic collaboration network with planted
+communities:
+
+* clique-percolation communities (Palla et al.) via
+  :func:`repro.apps.k_clique_communities`, and
+* the k-clique densest subgraph via greedy peeling
+  (:func:`repro.apps.kclique_densest_subgraph`).
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro.apps import k_clique_communities, kclique_densest_subgraph
+from repro.graph.generators import (
+    chung_lu,
+    overlay,
+    planted_cliques,
+    power_law_degrees,
+)
+
+
+def build_collaboration_network(n: int = 600, seed: int = 42):
+    """Sparse background + planted research groups of varied size."""
+    weights = power_law_degrees(n, 2.7, 1.6, seed=seed)
+    background = chung_lu(weights, seed=seed + 1).edge_array()
+    groups = planted_cliques(
+        n, [14, 9, 8, 7, 6, 6, 5], seed=seed + 2, overlap=0.15
+    )
+    return overlay(n, background, groups), groups
+
+
+def main() -> None:
+    g, planted = build_collaboration_network()
+    print(f"collaboration network: {g}\n")
+
+    print("=== clique-percolation communities (k = 4) ===")
+    communities = k_clique_communities(g, 4)
+    print(f"found {len(communities)} communities")
+    for i, comm in enumerate(communities[:8]):
+        members = sorted(comm)
+        head = ", ".join(map(str, members[:10]))
+        more = f", ... (+{len(members) - 10})" if len(members) > 10 else ""
+        print(f"  community {i}: {len(members):3d} members  [{head}{more}]")
+
+    planted_members = set(np.unique(planted).tolist())
+    covered = set().union(*communities) if communities else set()
+    recall = len(planted_members & covered) / len(planted_members)
+    print(f"\nplanted-group member recall: {recall:.0%} "
+          f"({len(planted_members)} planted members)")
+
+    print("\n=== 3-clique densest subgraph (greedy peeling) ===")
+    res = kclique_densest_subgraph(g, 3, recompute_every=8)
+    print(f"densest subgraph: {len(res.vertices)} vertices, "
+          f"{res.clique_count:,} triangles, "
+          f"density {float(res.density):.2f} triangles/vertex")
+    biggest_group = communities[0] if communities else set()
+    overlap = len(set(res.vertices) & biggest_group)
+    print(f"overlap with the largest CPM community: "
+          f"{overlap}/{len(res.vertices)} vertices — both methods "
+          "converge on the strongest planted group")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The LiveJournal challenge (paper Sec. VI-H, Table VI, Fig. 13).
+
+LiveJournal is the paper's stress workload: so clique-rich that the
+original Pivoter took 5.9 *days* to count 10-cliques, PivotScale cut
+that to under 6 hours, and GPU-Pivot loses at every k.  This example
+walks the analog through the same story:
+
+1. why the graph is hard (the SCT tree *grows* with the target k,
+   unlike every other graph),
+2. exact counts exploding over nine orders of magnitude,
+3. the modeled PivotScale-vs-GPU comparison, and
+4. what the GPU-Pivot-style edge splitting does to CPU load balance.
+
+Run:  python examples/livejournal_challenge.py
+"""
+
+from repro.bench.harness import Table, fmt_count, fmt_seconds
+from repro.counting import count_kcliques
+from repro.datasets import get_spec, load
+from repro.ordering import core_ordering, directionalize, max_out_degree
+from repro.parallel import DynamicScheduler, GPU_A100, GPU_V100
+from repro.parallel.partition import edge_split_tasks, vertex_tasks
+from repro.parallel.simulate import simulate_counting, simulate_ordering
+from repro.perfmodel.gpu import gpu_pivot_time
+
+KS = (6, 8, 10, 12)
+
+
+def main() -> None:
+    name = "livejournal"
+    g = load(name)
+    spec = get_spec(name)
+    ordering = core_ordering(g)
+    dag = directionalize(g, ordering)
+    maxout = max_out_degree(g, ordering)
+    scale = spec.effective_num_vertices / g.num_vertices
+    print(f"=== the LiveJournal analog ===\n{g}\n")
+
+    t = Table(
+        "counts and modeled times vs clique size",
+        ["k", "count", "SCT calls", "PivotScale(s)", "V100(s)", "A100(s)"],
+    )
+    results = {}
+    for k in KS:
+        r = count_kcliques(g, k, ordering)
+        results[k] = r
+        ps = (
+            simulate_ordering(ordering.cost, threads=64,
+                              work_scale=scale).seconds
+            + simulate_counting(
+                r, threads=64,
+                effective_num_vertices=spec.effective_num_vertices,
+                max_out_degree=maxout, work_scale=scale,
+            ).seconds
+        )
+        frac = float(r.per_root_work.max() / r.counters.work)
+        gpu = {
+            lbl: gpu_pivot_time(r.counters, spec_gpu, max_out_degree=maxout,
+                                work_scale=scale, max_task_fraction=frac)
+            for lbl, spec_gpu in (("v", GPU_V100), ("a", GPU_A100))
+        }
+        t.add(k, fmt_count(r.count), f"{r.counters.function_calls:,}",
+              fmt_seconds(ps), fmt_seconds(gpu["v"]), fmt_seconds(gpu["a"]))
+    t.show()
+
+    growth = (results[KS[-1]].counters.function_calls
+              / results[KS[0]].counters.function_calls)
+    print(f"recursion tree grows {growth:.0f}x from k={KS[0]} to "
+          f"k={KS[-1]} — the clique-rich signature no other analog has "
+          "(the paper measures 942x on the real graph).\n")
+
+    r = results[8]
+    sched = DynamicScheduler()
+    vt = vertex_tasks(r.per_root_work)
+    et = edge_split_tasks(r.per_root_work, dag.degrees)
+    mk_v = sched.assign(vt.work, 64).makespan
+    mk_e = sched.assign(et.work, 64).makespan
+    print("load balance at 64 threads (k=8):")
+    print(f"  vertex-parallel: heaviest task holds "
+          f"{vt.max_task_fraction:.0%} of all work, makespan "
+          f"{mk_v / r.counters.work:.1%} of total")
+    print(f"  edge-split (GPU-Pivot style): {et.num_tasks:,} tasks, "
+          f"makespan {mk_e / r.counters.work:.1%} of total "
+          f"({mk_v / mk_e:.1f}x better)")
+
+
+if __name__ == "__main__":
+    main()

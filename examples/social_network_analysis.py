@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Social-network analysis with per-vertex clique counts.
+
+The paper's intro motivates clique counting with community detection
+and social-network analysis; this example uses the per-vertex k-clique
+extension (paper Sec. VIII) on the Orkut analog to find the vertices
+that anchor the most communities, and contrasts clique participation
+with plain degree centrality.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.counting import count_kcliques, per_vertex_counts
+from repro.datasets import get_spec, load
+from repro.graph.stats import assortativity, heuristic_inputs
+from repro.ordering import core_ordering
+
+K = 5  # community seed size
+
+
+def main() -> None:
+    name = "orkut"
+    g = load(name)
+    spec = get_spec(name)
+    print(f"=== {spec.title} analog ({spec.description}) ===")
+    print(f"{g}, assortativity r = {assortativity(g):.3f}")
+
+    hi = heuristic_inputs(g)
+    print(f"hub vertex {hi.hub} (degree {hi.hub_degree}); its best-connected "
+          f"neighbor has degree {hi.a} and shares "
+          f"{hi.common_fraction:.0%} of its neighborhood\n")
+
+    ordering = core_ordering(g)
+    total = count_kcliques(g, K, ordering).count
+    print(f"total {K}-cliques: {total:,}")
+
+    per = per_vertex_counts(g, K, ordering)
+    per_arr = np.array([float(c) for c in per])
+    # Invariant from the paper's counting identity:
+    assert sum(per) == K * total
+
+    top = np.argsort(per_arr)[::-1][:10]
+    degs = g.degrees
+    print(f"\ntop-10 community anchors by {K}-clique participation:")
+    print(f"{'vertex':>8} {'cliques':>12} {'degree':>8} {'deg rank':>9}")
+    deg_rank = np.empty(g.num_vertices, dtype=np.int64)
+    deg_rank[np.argsort(degs)[::-1]] = np.arange(g.num_vertices)
+    for v in top:
+        print(f"{v:>8} {per[v]:>12,} {degs[v]:>8} {deg_rank[v]:>9}")
+
+    # How different is clique centrality from degree centrality?
+    in_cliques = per_arr > 0
+    print(f"\nvertices in at least one {K}-clique: {in_cliques.sum():,} "
+          f"of {g.num_vertices:,}")
+    top_deg = set(np.argsort(degs)[::-1][:10].tolist())
+    overlap = len(top_deg & set(int(v) for v in top))
+    print(f"overlap between top-10 by degree and top-10 by cliques: "
+          f"{overlap}/10 — degree alone does not find community anchors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a Python reproduction of PivotScale (Lonkar & Beamer, IPDPS'25).
+
+PivotScale is a scalable, pivoting-based exact k-clique counter.  This
+package implements the full system from scratch — orderings, the SCT
+pivot recursion, the three subgraph structures, the selection
+heuristic, baselines — plus the machine model that reproduces the
+paper's parallel-scaling evaluation (see DESIGN.md for the simulation
+substitutions).
+
+Quick start::
+
+    from repro import count_cliques
+    from repro.datasets import load
+
+    result = count_cliques(load("orkut"), k=8)
+    print(result.count, result.ordering.name, result.total_model_seconds)
+"""
+
+from repro.core import (
+    CliqueCountResult,
+    PhaseBreakdown,
+    PivotScaleConfig,
+    count_cliques,
+    count_cliques_all_sizes,
+)
+from repro.errors import (
+    CountingError,
+    DatasetError,
+    GraphFormatError,
+    OrderingError,
+    ParallelModelError,
+    ReproError,
+)
+from repro.graph import CSRGraph, from_edge_array, from_edge_list
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "count_cliques",
+    "count_cliques_all_sizes",
+    "CliqueCountResult",
+    "PhaseBreakdown",
+    "PivotScaleConfig",
+    "CSRGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "ReproError",
+    "GraphFormatError",
+    "OrderingError",
+    "CountingError",
+    "ParallelModelError",
+    "DatasetError",
+    "__version__",
+]

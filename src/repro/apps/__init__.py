@@ -1,0 +1,24 @@
+"""Applications of clique counting (the paper's Sec. I motivation).
+
+Community detection and dense-subgraph discovery are the canonical
+consumers of k-clique machinery: clique-percolation communities [1-3]
+and k-clique densest subgraphs [4] both sit directly on top of the
+listing/counting engines in :mod:`repro.counting`.
+"""
+
+from repro.apps.cliquecore import kclique_core_numbers, kclique_core_subgraph
+from repro.apps.cpm import k_clique_communities
+from repro.apps.densest import (
+    DensestResult,
+    kclique_densest_subgraph,
+    kclique_density,
+)
+
+__all__ = [
+    "k_clique_communities",
+    "kclique_core_numbers",
+    "kclique_core_subgraph",
+    "kclique_densest_subgraph",
+    "kclique_density",
+    "DensestResult",
+]

@@ -1,0 +1,20 @@
+"""Experiment harness shared by ``benchmarks/`` and ``examples/``.
+
+One canonical function per paper table/figure lives in
+:mod:`repro.bench.experiments`; :mod:`repro.bench.paper_data` carries
+the paper's published numbers so harness output can print
+paper-vs-measured side by side (EXPERIMENTS.md is generated from these
+runs).
+"""
+
+from repro.bench.harness import Table, geometric_mean, fmt_seconds, fmt_count
+from repro.bench import experiments, paper_data
+
+__all__ = [
+    "Table",
+    "geometric_mean",
+    "fmt_seconds",
+    "fmt_count",
+    "experiments",
+    "paper_data",
+]

@@ -1,0 +1,267 @@
+"""Render the paper's figures as SVG files.
+
+``python -m repro.bench.figures [outdir]`` regenerates every figure of
+the evaluation from the canonical experiments
+(:mod:`repro.bench.experiments`) using the dependency-free SVG plotter.
+Each ``render_figN`` function accepts a pre-computed
+:class:`~repro.bench.experiments.ExperimentResult` so the expensive
+experiment runs once even when both the table harness and the figure
+renderer need it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.bench import experiments as E
+from repro.bench.svgplot import GroupedBarChart, LineChart, Series
+
+__all__ = ["render_all", "main"]
+
+
+def _series_from(data: dict, keys: list, label_of, value_of) -> list[Series]:
+    return [
+        Series(label_of(k), [value_of(k, x) for x in data]) for k in keys
+    ]
+
+
+# ----------------------------------------------------------------- Fig 1
+def render_fig1(result, outdir: str) -> list[str]:
+    """Clique-size frequency distributions (log-y line chart)."""
+    names = list(result.data)
+    max_k = max(d["kmax"] for d in result.data.values())
+    xs = list(range(1, max_k + 1))
+    chart = LineChart(
+        "Fig. 1 - frequency of k-cliques", xs,
+        x_label="clique size k", y_label="number of k-cliques",
+        y_log=True, width=680,
+    )
+    for name in names:
+        dist = result.data[name]["dist"]
+        chart.add(Series(name, [
+            float(dist[k]) if k < len(dist) and dist[k] else None
+            for k in xs
+        ]))
+    path = os.path.join(outdir, "fig1_distribution.svg")
+    chart.write(path)
+    return [path]
+
+
+# ----------------------------------------------------------------- Fig 3
+def render_fig3(result, outdir: str) -> list[str]:
+    """DAG out-degree distributions, core vs degree ordering."""
+    buckets = ["0", "1", "2-3", "4-7", "8-15", "16-31", "32+"]
+    edges = [(0, 1), (1, 2), (2, 4), (4, 8), (8, 16), (16, 32), (32, 1 << 30)]
+
+    def histo(h):
+        return [float(sum(h[lo:min(hi, len(h))])) for lo, hi in edges]
+
+    chart = GroupedBarChart(
+        "Fig. 3 - out-degree distribution after directionalizing (Skitter)",
+        buckets, y_label="vertices",
+    )
+    chart.add(Series("core ordering", histo(result.data["core"])))
+    chart.add(Series("degree ordering", histo(result.data["degree"])))
+    path = os.path.join(outdir, "fig3_degree_dist.svg")
+    chart.write(path)
+    return [path]
+
+
+# ----------------------------------------------------------------- Fig 5
+def render_fig5(result, outdir: str) -> list[str]:
+    """Normalized maximum out-degree per ordering."""
+    names = list(result.data)
+    orderings = [k for k in next(iter(result.data.values())) if k != "core"]
+    chart = GroupedBarChart(
+        "Fig. 5 - max out-degree normalized to core ordering",
+        names, y_label="normalized max out-degree", baseline=1.0, width=760,
+    )
+    for o in orderings:
+        chart.add(Series(o, [
+            result.data[n][o] / (result.data[n]["core"] or 1) for n in names
+        ]))
+    path = os.path.join(outdir, "fig5_quality.svg")
+    chart.write(path)
+    return [path]
+
+
+# ----------------------------------------------------------------- Fig 6
+def render_fig6(result, outdir: str) -> list[str]:
+    names = list(result.data)
+    orderings = list(next(iter(result.data.values()))["speedups"])
+    chart = GroupedBarChart(
+        "Fig. 6 - ordering time speedup over sequential core (64T)",
+        names, y_label="speedup (x)", baseline=1.0, width=760,
+    )
+    for o in orderings:
+        chart.add(Series(o, [
+            result.data[n]["speedups"][o] for n in names
+        ]))
+    path = os.path.join(outdir, "fig6_ordering_time.svg")
+    chart.write(path)
+    return [path]
+
+
+# ------------------------------------------------------------- Figs 7, 8
+def _speedup_bars(result, title: str, filename: str, outdir: str) -> str:
+    names = list(result.data)
+    orderings = list(next(iter(result.data.values()))["speedups"])
+    chart = GroupedBarChart(title, names, y_label="speedup over core (x)",
+                            baseline=1.0, width=760)
+    for o in orderings:
+        chart.add(Series(o, [result.data[n]["speedups"][o] for n in names]))
+    path = os.path.join(outdir, filename)
+    chart.write(path)
+    return path
+
+
+def render_fig7(result, outdir: str) -> list[str]:
+    return [_speedup_bars(
+        result, "Fig. 7 - counting time speedup over core ordering (k=8)",
+        "fig7_counting_time.svg", outdir,
+    )]
+
+
+def render_fig8(result, outdir: str) -> list[str]:
+    return [_speedup_bars(
+        result, "Fig. 8 - total time speedup over core ordering (k=8)",
+        "fig8_total_time.svg", outdir,
+    )]
+
+
+# ----------------------------------------------------------------- Fig 9
+def render_fig9(result, outdir: str) -> list[str]:
+    names = list(result.data)
+    chart = GroupedBarChart(
+        "Fig. 9 - structure performance normalized to dense (k=8, 64T)",
+        names, y_label="speedup over dense (x)", baseline=1.0, width=760,
+    )
+    for s in ("sparse", "remap"):
+        chart.add(Series(s, [
+            result.data[n]["times"]["dense"] / result.data[n]["times"][s]
+            for n in names
+        ]))
+    path = os.path.join(outdir, "fig9_structures.svg")
+    chart.write(path)
+    return [path]
+
+
+# ---------------------------------------------------------------- Fig 10
+def render_fig10(result, outdir: str) -> list[str]:
+    paths = []
+    for name, per_k in result.data.items():
+        ks = list(per_k)
+        chart = LineChart(
+            f"Fig. 10 - total time vs clique size ({name})", ks,
+            x_label="clique size k", y_label="model seconds", y_log=True,
+        )
+        for mode in ("approx_core", "degree", "heuristic"):
+            chart.add(Series(mode, [per_k[k][mode] for k in ks]))
+        path = os.path.join(outdir, f"fig10_{name}.svg")
+        chart.write(path)
+        paths.append(path)
+    return paths
+
+
+# ---------------------------------------------------------------- Fig 11
+def render_fig11(result, outdir: str) -> list[str]:
+    by_graph_k: dict[tuple[str, int], dict[str, dict[int, float]]] = {}
+    for (name, k, structure), sp in result.data.items():
+        by_graph_k.setdefault((name, k), {})[structure] = sp
+    paths = []
+    for (name, k), per_struct in by_graph_k.items():
+        threads = list(next(iter(per_struct.values())))
+        chart = LineChart(
+            f"Fig. 11 - self-relative speedup ({name}, k={k})", threads,
+            x_label="threads", y_label="speedup (x)", x_log=True,
+        )
+        chart.add(Series("ideal", [float(t) for t in threads]))
+        for structure in ("dense", "sparse", "remap"):
+            if structure in per_struct:
+                chart.add(Series(structure, [
+                    per_struct[structure][t] for t in threads
+                ]))
+        path = os.path.join(outdir, f"fig11_{name}_k{k}.svg")
+        chart.write(path)
+        paths.append(path)
+    return paths
+
+
+# ------------------------------------------------------- Fig 12 (Table V)
+_ALG_LABELS = {
+    "pivoter": "Pivoter",
+    "arbcount": "Arb-Count",
+    "gpu_v100": "GPU-Pivot (V100)",
+    "gpu_a100": "GPU-Pivot (A100)",
+    "pivotscale": "PivotScale",
+}
+
+
+def render_fig12(result, outdir: str, ks: list[int] | None = None) -> list[str]:
+    ks = ks or list(range(6, 14))
+    paths = []
+    for name, rows in result.data.items():
+        chart = LineChart(
+            f"Fig. 12 - total time vs clique size ({name})", ks,
+            x_label="clique size k", y_label="model seconds", y_log=True,
+        )
+        for alg, label in _ALG_LABELS.items():
+            if alg in rows:
+                vals = [v if isinstance(v, (int, float)) else None
+                        for v in rows[alg]]
+                if any(v is not None for v in vals):
+                    chart.add(Series(label, vals))
+        path = os.path.join(outdir, f"fig12_{name}.svg")
+        chart.write(path)
+        paths.append(path)
+    return paths
+
+
+# ------------------------------------------------------ Fig 13 (Table VI)
+def render_fig13(result, outdir: str) -> list[str]:
+    ks = list(result.data)
+    chart = LineChart(
+        "Fig. 13 - LiveJournal analog: time vs clique size", ks,
+        x_label="clique size k", y_label="model seconds", y_log=True,
+    )
+    chart.add(Series("PivotScale", [result.data[k]["pivotscale_s"] for k in ks]))
+    chart.add(Series("GPU-Pivot (V100)", [result.data[k]["v100_s"] for k in ks]))
+    chart.add(Series("GPU-Pivot (A100)", [result.data[k]["a100_s"] for k in ks]))
+    path = os.path.join(outdir, "fig13_livejournal.svg")
+    chart.write(path)
+    return [path]
+
+
+# ------------------------------------------------------------------ main
+def render_all(outdir: str = "figures") -> list[str]:
+    """Run every figure experiment and write all SVGs; returns paths."""
+    os.makedirs(outdir, exist_ok=True)
+    paths: list[str] = []
+    paths += render_fig1(E.fig1_distribution(), outdir)
+    paths += render_fig3(E.fig3_degree_distributions(), outdir)
+    paths += render_fig5(E.fig5_ordering_quality(), outdir)
+    paths += render_fig6(E.fig6_ordering_time(), outdir)
+    paths += render_fig7(E.fig7_counting_time(), outdir)
+    paths += render_fig8(E.fig8_total_time(), outdir)
+    paths += render_fig9(E.fig9_structures(), outdir)
+    paths += render_fig10(E.fig10_heuristic_vs_k(), outdir)
+    paths += render_fig11(E.fig11_scaling(), outdir)
+    paths += render_fig12(E.table5_comparison(), outdir)
+    paths += render_fig13(E.table6_livejournal(), outdir)
+    return paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: render all figures into ``argv[0]`` (default
+    ``figures/``)."""
+    args = sys.argv[1:] if argv is None else argv
+    outdir = args[0] if args else "figures"
+    paths = render_all(outdir)
+    for p in paths:
+        print(f"wrote {p}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

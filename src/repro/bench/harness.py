@@ -1,0 +1,76 @@
+"""Small report-formatting helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Table", "geometric_mean", "fmt_seconds", "fmt_count"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, matching the paper's summary statistic."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def fmt_seconds(s: float | None) -> str:
+    """Seconds with the paper's precision conventions."""
+    if s is None:
+        return "-"
+    if s >= 1000:
+        return f"{s:,.0f}"
+    if s >= 10:
+        return f"{s:.1f}"
+    if s >= 0.01:
+        return f"{s:.2f}"
+    return f"{s:.4f}"
+
+
+def fmt_count(c: int | None) -> str:
+    """Exact counts with thousands separators (``-`` for missing)."""
+    return "-" if c is None else f"{c:,}"
+
+
+@dataclass
+class Table:
+    """A printable fixed-width table (the bench harness's output)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells)) if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  * {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.render())
+        print()

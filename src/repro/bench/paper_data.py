@@ -1,0 +1,153 @@
+"""The paper's published numbers (Tables I-VI, figure summaries).
+
+Used by the benchmark harness to print paper-vs-measured rows and by
+EXPERIMENTS.md.  Dataset keys match :mod:`repro.datasets`.  ``None``
+means the paper reports "-" (missing / not reported); the string
+``">2h"`` is kept verbatim where the paper timed out.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "TABLE5",
+    "TABLE6",
+    "FIG6_SPEEDUP_EPS_M05",
+    "SUITE_ORDER",
+    "TABLE5_KS",
+]
+
+SUITE_ORDER = [
+    "dblp", "skitter", "baidu", "wikitalk",
+    "orkut", "livejournal", "webedu", "friendster",
+]
+
+#: Table I: |V| (M), |E| (M), average degree, k_max.
+TABLE1: dict[str, tuple[float, float, float, int | None]] = {
+    "dblp": (0.3, 1.1, 3.7, 114),
+    "skitter": (1.7, 11.1, 6.5, 67),
+    "baidu": (2.2, 17.8, 8.5, 31),
+    "wikitalk": (2.4, 9.3, 3.9, 26),
+    "orkut": (3.1, 117.2, 37.8, 51),
+    "livejournal": (4.0, 34.7, 8.1, None),
+    "webedu": (9.9, 46.2, 2.4, 449),
+    "friendster": (65.6, 1806.1, 27.5, 129),
+}
+
+#: Table II: counting phase, degree normalized to core:
+#: (instructions, function calls, LLC MPKI, IPC).
+TABLE2: dict[str, tuple[float, float, float, float]] = {
+    "dblp": (1.00, 1.02, 0.92, 1.00),
+    "skitter": (1.52, 1.44, 0.66, 1.04),
+    "baidu": (1.00, 1.01, 0.92, 1.07),
+    "wikitalk": (1.36, 1.35, 0.83, 1.01),
+    "orkut": (1.07, 1.08, 0.86, 1.00),
+    "livejournal": (1.28, 1.21, 1.09, 0.97),
+    "webedu": (1.26, 1.31, 0.74, 1.04),
+    "friendster": (1.00, 1.02, 0.88, 1.04),
+}
+
+#: Table III: k=8;
+#: core:   (ordering s @1T, counting s @64T, total s, max out-degree)
+#: degree: (ordering s @64T, counting s @64T, total s, max out-degree)
+TABLE3: dict[str, dict[str, tuple[float, float, float, int]]] = {
+    "dblp": {"core": (0.03, 0.02, 0.05, 113), "degree": (0.00, 0.02, 0.02, 113)},
+    "skitter": {"core": (0.32, 0.53, 0.85, 111), "degree": (0.01, 1.73, 1.74, 231)},
+    "baidu": {"core": (0.61, 0.19, 0.80, 78), "degree": (0.02, 0.18, 0.19, 298)},
+    "wikitalk": {"core": (0.15, 0.86, 1.01, 131), "degree": (0.01, 2.69, 2.70, 340)},
+    "orkut": {"core": (3.11, 19.99, 23.10, 253), "degree": (0.05, 22.93, 22.98, 535)},
+    "livejournal": {
+        "core": (1.34, 2562.86, 2564.20, 360),
+        "degree": (0.02, 3619.24, 3619.26, 524),
+    },
+    "webedu": {"core": (1.25, 1.04, 2.29, 448), "degree": (0.02, 2.09, 2.11, 448)},
+    "friendster": {
+        "core": (126.36, 58.26, 184.62, 304),
+        "degree": (1.68, 56.24, 57.92, 868),
+    },
+}
+
+#: Table IV: (best ordering, a, |V| M, a/|V|, common fraction).
+TABLE4: dict[str, tuple[str, int, float, float, float]] = {
+    "dblp": ("degree", 296, 0.3, 0.0010, 0.72),
+    "skitter": ("core", 33_982, 1.7, 0.0200, 0.84),
+    "baidu": ("degree", 2_867, 2.2, 0.0013, 0.00),
+    "wikitalk": ("core", 10_520, 2.4, 0.0044, 0.11),
+    "orkut": ("core", 29_657, 3.1, 0.0945, 0.12),
+    "livejournal": ("core", 1_705, 4.0, 0.0004, 0.20),
+    "webedu": ("core", 18_293, 9.9, 0.0019, 0.90),
+    "friendster": ("degree", 3_117, 65.6, 0.0000, 0.00),
+}
+
+TABLE5_KS = list(range(6, 14))
+
+#: Table V: total seconds per (graph, algorithm) across k = 6..13.
+#: Values are floats, the string ">2h" where the paper timed out, or
+#: None where not reported (GPU-Pivot has no k > 11, no Baidu/Wiki-Talk
+#: /Web-Edu rows).
+_2H = ">2h"
+TABLE5: dict[str, dict[str, list]] = {
+    "dblp": {
+        "pivoter": [1.50, 1.00, 1.50, 1.00, 1.50, 1.00, 1.50, 1.50],
+        "arbcount": [0.13, 2.07, 32.11, 450.86, _2H, _2H, _2H, _2H],
+        "gpu_v100": [0.11, 0.11, 0.11, 0.11, 0.11, 0.11, None, None],
+        "gpu_a100": [0.11, 0.11, 0.11, 0.11, 0.11, 0.11, None, None],
+        "pivotscale": [0.02] * 8,
+    },
+    "skitter": {
+        "pivoter": [16.26, 17.27, 17.77, 17.74, 18.26, 17.69, 17.78, 18.29],
+        "arbcount": [0.38, 2.51, 18.34, 125.52, 754.08, 4189.38, _2H, _2H],
+        "gpu_v100": [1.01, 1.27, 1.59, 1.84, 1.78, 1.78, None, None],
+        "gpu_a100": [0.96, 1.31, 1.73, 1.97, 2.22, 2.15, None, None],
+        "pivotscale": [0.46, 0.52, 0.55, 0.56, 0.56, 0.56, 0.55, 0.55],
+    },
+    "baidu": {
+        "pivoter": [19.44, 19.52, 19.11, 20.03, 19.31, 18.85, 18.94, 19.57],
+        "arbcount": [0.07, 0.07, 0.07, 0.08, 0.11, 0.22, 0.45, 0.90],
+        "pivotscale": [0.20, 0.19, 0.19, 0.19, 0.19, 0.18, 0.18, 0.18],
+    },
+    "wikitalk": {
+        "pivoter": [33.42, 35.91, 36.91, 35.93, 35.91, 35.93, 36.45, 35.95],
+        "arbcount": [0.28, 1.32, 4.60, 13.24, 28.60, 51.30, 73.87, 95.76],
+        "pivotscale": [0.76, 0.87, 0.91, 0.92, 0.91, 0.91, 0.91, 0.90],
+    },
+    "orkut": {
+        "pivoter": [654.13, 753.08, 812.71, 858.04, 889.39, 904.02, 909.91, 912.99],
+        "arbcount": [5.35, 18.58, 69.89, 281.03, 1294.34, _2H, _2H, _2H],
+        "gpu_v100": [17.23, 20.33, 26.18, 33.64, 39.96, 48.10, None, None],
+        "gpu_a100": [14.05, 17.32, 22.48, 29.82, 38.22, 44.82, None, None],
+        "pivotscale": [16.72, 19.48, 21.47, 24.97, 27.91, 29.83, 30.32, 30.20],
+    },
+    "webedu": {
+        "pivoter": [45.29, 46.36, 47.84, 47.82, 47.25, 48.79, 50.47, 53.35],
+        "arbcount": [456.47, _2H, _2H, _2H, _2H, _2H, _2H, _2H],
+        "pivotscale": [0.85, 1.13, 1.48, 1.73, 1.84, 1.83, 1.84, 1.86],
+    },
+    "friendster": {
+        "pivoter": [3064.48, 3097.26, 3054.73, 3032.45, 3050.13, 3063.23,
+                    3070.55, 3080.26],
+        "arbcount": [30.77, 44.19, 166.53, 2132.27, _2H, _2H, _2H, _2H],
+        "gpu_v100": [63.87, 66.54, 67.06, 71.40, 71.05, 71.45, None, None],
+        "gpu_a100": [47.32, 47.41, 47.07, 46.12, 45.22, 44.31, None, None],
+        "pivotscale": [58.48, 58.88, 58.69, 58.12, 57.66, 56.87, 56.19, 55.40],
+    },
+}
+
+#: Table VI: LiveJournal — (k-clique count, PivotScale s, V100 s, A100 s).
+TABLE6: dict[int, tuple[int, float, float | None, float | None]] = {
+    6: (10_990_740_312_954, 172.92, 379.88, 301.77),
+    7: (449_022_426_169_164, 750.00, 1_639.54, 1_396.37),
+    8: (16_890_998_195_437_619, 2_650.87, 6_850.99, 5_467.18),
+    9: (587_802_675_586_713_160, 7_906.71, None, None),
+    10: (18_973_061_151_392_022_301, 21_172.76, None, None),
+    11: (568_916_187_227_810_700_115, 49_213.59, None, None),
+    12: (15_868_894_086_996_727_006_147, 108_621.55, None, None),
+    13: (412_397_238_639_623_631_270_670, 223_130.87, None, None),
+}
+
+#: Fig. 6 headline: eps=-0.5 approx core averages 9.58x speedup over the
+#: sequential core ordering, with 160-6033 rounds.
+FIG6_SPEEDUP_EPS_M05 = 9.58

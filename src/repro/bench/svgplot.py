@@ -1,0 +1,344 @@
+"""Minimal dependency-free SVG plotting.
+
+The reproduction regenerates every paper *figure* as an actual figure
+file without matplotlib (offline environment): this module provides the
+small chart vocabulary the paper uses — grouped bars (Figs. 5-9),
+line series with linear or log axes (Figs. 1, 10, 12, 13), and scaling
+curves (Fig. 11) — as hand-rolled SVG.
+
+Deliberately small: one chart per file, categorical x-axes or numeric
+x-values, automatic y-ticks, legend, captions.  Everything returns or
+writes UTF-8 SVG 1.1 that any browser renders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+__all__ = ["Series", "LineChart", "GroupedBarChart"]
+
+# A colorblind-friendly cycle (Okabe-Ito).
+_COLORS = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00",
+    "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+]
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+@dataclass
+class Series:
+    """One plotted series: a label and y-values (None = missing)."""
+
+    label: str
+    values: list[float | None]
+
+    def finite(self) -> list[float]:
+        return [v for v in self.values if v is not None and v > float("-inf")]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(n, 1)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9 * span:
+        if t >= lo - 1e-9 * span:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    lo_exp = math.floor(math.log10(lo))
+    hi_exp = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(int(lo_exp), int(hi_exp) + 1)]
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 10000 or abs(v) < 0.01:
+        exp = math.floor(math.log10(abs(v)))
+        mant = v / 10**exp
+        if abs(mant - 1.0) < 1e-9:
+            return f"1e{exp:d}"
+        return f"{mant:g}e{exp:d}"
+    return f"{v:g}"
+
+
+class _Canvas:
+    """Accumulates SVG elements with a margin-based plot area."""
+
+    def __init__(self, width: int, height: int, title: str) -> None:
+        self.width = width
+        self.height = height
+        self.margin = (56, 16, 42, 54)  # top, right, bottom, left
+        self.parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2}" y="24" text-anchor="middle" '
+            f'{_FONT} font-size="15" font-weight="bold">'
+            f"{escape(title)}</text>",
+        ]
+
+    @property
+    def plot_box(self) -> tuple[float, float, float, float]:
+        t, r, b, l = self.margin
+        return (l, t, self.width - r, self.height - b)
+
+    def line(self, x1, y1, x2, y2, color="#888", width=1.0, dash=None):
+        d = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{color}" stroke-width="{width}"{d}/>'
+        )
+
+    def text(self, x, y, s, size=11, anchor="middle", color="#222",
+             rotate: float | None = None):
+        tr = (
+            f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+            if rotate is not None else ""
+        )
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" text-anchor="{anchor}" '
+            f'{_FONT} font-size="{size}" fill="{color}"{tr}>'
+            f"{escape(str(s))}</text>"
+        )
+
+    def circle(self, x, y, r, color):
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+        )
+
+    def rect(self, x, y, w, h, color):
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{color}"/>'
+        )
+
+    def polyline(self, points: list[tuple[float, float]], color, width=2.0):
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def legend(self, labels: list[str]) -> None:
+        x0, y0 = self.margin[3] + 8, 34
+        x = x0
+        for i, label in enumerate(labels):
+            color = _COLORS[i % len(_COLORS)]
+            self.rect(x, y0 - 8, 10, 10, color)
+            self.text(x + 14, y0 + 1, label, size=10, anchor="start")
+            x += 22 + 6.2 * len(label)
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+@dataclass
+class _AxisSpec:
+    label: str = ""
+    log: bool = False
+
+
+class LineChart:
+    """Line chart over shared x-values (numeric or categorical).
+
+    >>> chart = LineChart("demo", x_values=[1, 2, 4], x_label="threads")
+    >>> chart.add(Series("remap", [1.0, 2.0, 3.9]))
+    >>> svg = chart.render()
+    """
+
+    def __init__(
+        self,
+        title: str,
+        x_values: list,
+        *,
+        x_label: str = "",
+        y_label: str = "",
+        y_log: bool = False,
+        x_log: bool = False,
+        width: int = 560,
+        height: int = 360,
+    ) -> None:
+        self.title = title
+        self.x_values = list(x_values)
+        self.x_axis = _AxisSpec(x_label, x_log)
+        self.y_axis = _AxisSpec(y_label, y_log)
+        self.series: list[Series] = []
+        self.width = width
+        self.height = height
+
+    def add(self, series: Series) -> None:
+        if len(series.values) != len(self.x_values):
+            raise ValueError(
+                f"series {series.label!r} has {len(series.values)} values, "
+                f"chart has {len(self.x_values)} x positions"
+            )
+        self.series.append(series)
+
+    # ------------------------------------------------------------------
+    def _x_numeric(self) -> list[float]:
+        try:
+            return [float(x) for x in self.x_values]
+        except (TypeError, ValueError):
+            return list(range(len(self.x_values)))
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to plot")
+        canvas = _Canvas(self.width, self.height, self.title)
+        x0, y0, x1, y1 = canvas.plot_box
+        xs = self._x_numeric()
+        finite = [v for s in self.series for v in s.finite()]
+        if not finite:
+            raise ValueError("all series empty")
+        y_lo, y_hi = min(finite), max(finite)
+        if self.y_axis.log:
+            y_lo = max(min(finite), 1e-12)
+            ticks = _log_ticks(y_lo, y_hi)
+            y_lo, y_hi = ticks[0], ticks[-1]
+
+            def ty(v):
+                return y1 - (math.log10(v) - math.log10(y_lo)) / (
+                    math.log10(y_hi) - math.log10(y_lo) or 1.0
+                ) * (y1 - y0)
+        else:
+            ticks = _nice_ticks(min(0.0, y_lo), y_hi)
+            y_lo, y_hi = ticks[0], ticks[-1]
+
+            def ty(v):
+                return y1 - (v - y_lo) / ((y_hi - y_lo) or 1.0) * (y1 - y0)
+
+        if self.x_axis.log:
+            lx = [math.log2(max(x, 1e-12)) for x in xs]
+        else:
+            lx = xs
+        x_lo, x_hi = min(lx), max(lx)
+
+        def tx(i):
+            if x_hi == x_lo:
+                return (x0 + x1) / 2
+            return x0 + (lx[i] - x_lo) / (x_hi - x_lo) * (x1 - x0)
+
+        # Axes, grid, ticks.
+        for v in ticks:
+            y = ty(v)
+            canvas.line(x0, y, x1, y, color="#e0e0e0")
+            canvas.text(x0 - 6, y + 4, _fmt_tick(v), size=10, anchor="end")
+        for i, x in enumerate(self.x_values):
+            canvas.text(tx(i), y1 + 16, x, size=10)
+        canvas.line(x0, y1, x1, y1, color="#333", width=1.2)
+        canvas.line(x0, y0, x0, y1, color="#333", width=1.2)
+        if self.x_axis.label:
+            canvas.text((x0 + x1) / 2, self.height - 8, self.x_axis.label,
+                        size=11)
+        if self.y_axis.label:
+            canvas.text(14, (y0 + y1) / 2, self.y_axis.label, size=11,
+                        rotate=-90)
+        # Series.
+        for idx, s in enumerate(self.series):
+            color = _COLORS[idx % len(_COLORS)]
+            pts = [
+                (tx(i), ty(v))
+                for i, v in enumerate(s.values)
+                if v is not None
+            ]
+            if len(pts) > 1:
+                canvas.polyline(pts, color)
+            for px, py in pts:
+                canvas.circle(px, py, 2.6, color)
+        canvas.legend([s.label for s in self.series])
+        return canvas.render()
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())
+
+
+class GroupedBarChart:
+    """Grouped vertical bars: one group per category, one bar per series."""
+
+    def __init__(
+        self,
+        title: str,
+        categories: list[str],
+        *,
+        y_label: str = "",
+        baseline: float | None = None,
+        width: int = 640,
+        height: int = 360,
+    ) -> None:
+        self.title = title
+        self.categories = list(categories)
+        self.y_label = y_label
+        self.baseline = baseline
+        self.series: list[Series] = []
+        self.width = width
+        self.height = height
+
+    def add(self, series: Series) -> None:
+        if len(series.values) != len(self.categories):
+            raise ValueError(
+                f"series {series.label!r} has {len(series.values)} values, "
+                f"chart has {len(self.categories)} categories"
+            )
+        self.series.append(series)
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to plot")
+        canvas = _Canvas(self.width, self.height, self.title)
+        x0, y0, x1, y1 = canvas.plot_box
+        finite = [v for s in self.series for v in s.finite()]
+        if not finite:
+            raise ValueError("all series empty")
+        hi = max(finite + ([self.baseline] if self.baseline else []))
+        ticks = _nice_ticks(0.0, hi)
+        y_hi = ticks[-1]
+
+        def ty(v):
+            return y1 - v / (y_hi or 1.0) * (y1 - y0)
+
+        for v in ticks:
+            y = ty(v)
+            canvas.line(x0, y, x1, y, color="#e0e0e0")
+            canvas.text(x0 - 6, y + 4, _fmt_tick(v), size=10, anchor="end")
+        group_w = (x1 - x0) / max(len(self.categories), 1)
+        bar_w = group_w * 0.8 / max(len(self.series), 1)
+        for ci, cat in enumerate(self.categories):
+            gx = x0 + ci * group_w
+            canvas.text(gx + group_w / 2, y1 + 16, cat, size=10)
+            for si, s in enumerate(self.series):
+                v = s.values[ci]
+                if v is None:
+                    continue
+                bx = gx + group_w * 0.1 + si * bar_w
+                canvas.rect(bx, ty(v), bar_w * 0.92, y1 - ty(v),
+                            _COLORS[si % len(_COLORS)])
+        if self.baseline is not None:
+            y = ty(self.baseline)
+            canvas.line(x0, y, x1, y, color="#444", width=1.2, dash="5,4")
+        canvas.line(x0, y1, x1, y1, color="#333", width=1.2)
+        canvas.line(x0, y0, x0, y1, color="#333", width=1.2)
+        if self.y_label:
+            canvas.text(14, (y0 + y1) / 2, self.y_label, size=11, rotate=-90)
+        canvas.legend([s.label for s in self.series])
+        return canvas.render()
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())

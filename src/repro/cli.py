@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``count``     count k-cliques on a dataset analog or an edge-list file
+``dist``      print the clique-size distribution
+``datasets``  list the built-in dataset analogs (Table I)
+``orderings`` compare all orderings on a graph (quality + modeled time)
+``report``    regenerate EXPERIMENTS.md
+``figures``   render every paper figure as SVG
+``validate``  graph health report (invariants, degeneracy, components)
+
+Examples::
+
+    python -m repro count --dataset orkut -k 8
+    python -m repro count --edge-list my.el -k 5 --structure sparse
+    python -m repro dist --dataset dblp
+    python -m repro orderings --dataset skitter
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PivotScale reproduction: scalable exact k-clique counting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_source(p: argparse.ArgumentParser) -> None:
+        src = p.add_mutually_exclusive_group(required=True)
+        src.add_argument("--dataset", help="built-in analog name")
+        src.add_argument("--edge-list", help="path to a whitespace edge list")
+
+    p_count = sub.add_parser("count", help="count k-cliques")
+    add_graph_source(p_count)
+    p_count.add_argument("-k", type=int, required=True, help="clique size")
+    p_count.add_argument(
+        "--structure", choices=("dense", "sparse", "remap"), default="remap"
+    )
+    p_count.add_argument(
+        "--ordering",
+        choices=("heuristic", "core", "degree", "approx_core", "kcore",
+                 "centrality"),
+        default="heuristic",
+    )
+    p_count.add_argument("--threads", type=int, default=64,
+                         help="modeled thread count")
+    p_count.add_argument("--per-vertex", action="store_true",
+                         help="also print the top-10 per-vertex counts")
+
+    p_dist = sub.add_parser("dist", help="clique-size distribution")
+    add_graph_source(p_dist)
+    p_dist.add_argument("--max-k", type=int, default=None)
+
+    sub.add_parser("datasets", help="list dataset analogs")
+
+    p_ord = sub.add_parser("orderings", help="compare all orderings")
+    add_graph_source(p_ord)
+    p_ord.add_argument("-k", type=int, default=8)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("--output", default="EXPERIMENTS.md")
+
+    p_fig = sub.add_parser("figures", help="render all paper figures as SVG")
+    p_fig.add_argument("--output-dir", default="figures")
+
+    p_val = sub.add_parser("validate", help="graph health report")
+    add_graph_source(p_val)
+    return parser
+
+
+def _load_graph(args):
+    from repro.datasets import get_spec, load
+    from repro.graph.io import read_edge_list
+
+    if args.dataset:
+        spec = get_spec(args.dataset)
+        return load(args.dataset), spec.effective_num_vertices
+    return read_edge_list(args.edge_list), None
+
+
+def _cmd_count(args) -> int:
+    from repro.core import PivotScaleConfig, count_cliques
+
+    g, eff = _load_graph(args)
+    cfg = PivotScaleConfig(
+        structure=args.structure,
+        ordering=args.ordering,
+        threads=args.threads,
+        effective_num_vertices=eff,
+    )
+    r = count_cliques(g, args.k, cfg)
+    print(f"graph: {g}")
+    print(f"ordering: {r.ordering.name} (max out-degree {r.max_out_degree})")
+    if r.decision is not None:
+        print(f"heuristic: {r.decision.reason}")
+    print(f"{args.k}-cliques: {r.count:,}")
+    print(f"modeled {args.threads}-thread time: "
+          f"{r.total_model_seconds:.6g} s "
+          f"(wall: {r.wall_seconds:.3f} s single-core)")
+    if args.per_vertex:
+        from repro.counting import per_vertex_counts
+
+        per = per_vertex_counts(g, args.k, r.ordering)
+        top = sorted(range(len(per)), key=per.__getitem__, reverse=True)[:10]
+        print("top per-vertex counts:")
+        for v in top:
+            if per[v]:
+                print(f"  vertex {v}: {per[v]:,}")
+    return 0
+
+
+def _cmd_dist(args) -> int:
+    from repro.counting import count_all_sizes
+    from repro.ordering import core_ordering
+
+    g, _ = _load_graph(args)
+    dist = count_all_sizes(g, core_ordering(g), max_k=args.max_k).all_counts
+    print(f"graph: {g}")
+    for k, c in enumerate(dist):
+        if k >= 1 and c:
+            print(f"  k={k:3d}: {c:,}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.datasets import REGISTRY
+
+    print(f"{'name':12s} {'paper graph':12s} {'|V|(paper)':>11s} "
+          f"{'k_max':>6s} {'best ordering':>14s}")
+    for name, spec in REGISTRY.items():
+        kmax = spec.paper_kmax if spec.paper_kmax is not None else "-"
+        print(f"{name:12s} {spec.title:12s} {spec.paper_vertices_m:>10.1f}M "
+              f"{kmax!s:>6s} {spec.best_ordering:>14s}")
+    return 0
+
+
+def _cmd_orderings(args) -> int:
+    from repro.bench.harness import Table, fmt_seconds
+    from repro.counting import count_kcliques
+    from repro.ordering import (
+        approx_core_ordering,
+        centrality_ordering,
+        core_ordering,
+        degree_ordering,
+        kcore_ordering,
+        max_out_degree,
+    )
+    from repro.ordering.arborder import (
+        barenboim_elkin_ordering,
+        goodrich_pszona_ordering,
+    )
+    from repro.parallel import simulate_counting, simulate_ordering
+
+    g, eff = _load_graph(args)
+    scale = (eff / g.num_vertices) if eff else 1.0
+    orderings = {
+        "core": core_ordering(g),
+        "approx_core(-0.5)": approx_core_ordering(g, -0.5),
+        "kcore": kcore_ordering(g),
+        "barenboim-elkin": barenboim_elkin_ordering(g),
+        "goodrich-pszona": goodrich_pszona_ordering(g),
+        "centrality": centrality_ordering(g),
+        "degree": degree_ordering(g),
+    }
+    t = Table(
+        f"orderings on {g!r} (k={args.k})",
+        ["ordering", "max out-deg", "rounds", "order(s)", "count(s)"],
+    )
+    for label, o in orderings.items():
+        maxout = max_out_degree(g, o)
+        threads = 1 if label == "core" else 64
+        o_s = simulate_ordering(o.cost, threads=threads,
+                                work_scale=scale).seconds
+        r = count_kcliques(g, args.k, o)
+        c_s = simulate_counting(
+            r, threads=64,
+            effective_num_vertices=eff or g.num_vertices,
+            max_out_degree=maxout, work_scale=scale,
+        ).seconds
+        t.add(label, maxout, o.cost.num_rounds or "-", fmt_seconds(o_s),
+              fmt_seconds(c_s))
+    t.show()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import main as report_main
+
+    return report_main([args.output])
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.figures import main as figures_main
+
+    return figures_main([args.output_dir])
+
+
+def _cmd_validate(args) -> int:
+    from repro.graph.validate import validate_graph
+
+    g, _ = _load_graph(args)
+    print(validate_graph(g).summary())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "count": _cmd_count,
+        "dist": _cmd_dist,
+        "datasets": _cmd_datasets,
+        "orderings": _cmd_orderings,
+        "report": _cmd_report,
+        "figures": _cmd_figures,
+        "validate": _cmd_validate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""PivotScale's public pipeline: heuristic -> ordering -> counting.
+
+This is the paper's end-to-end system (Secs. III-V): measure the
+heuristic inputs, pick the ordering, directionalize, count with the
+remapped subgraph structure, and report both exact counts and modeled
+phase times on the 64-core reference machine.
+"""
+
+from repro.core.config import PivotScaleConfig
+from repro.core.result import CliqueCountResult, PhaseBreakdown
+from repro.core.pivotscale import count_cliques, count_cliques_all_sizes
+from repro.core.hybrid import count_cliques_hybrid, HybridResult
+
+__all__ = [
+    "PivotScaleConfig",
+    "CliqueCountResult",
+    "PhaseBreakdown",
+    "count_cliques",
+    "count_cliques_all_sizes",
+    "count_cliques_hybrid",
+    "HybridResult",
+]

@@ -1,0 +1,65 @@
+"""End-to-end configuration for the PivotScale pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CountingError, ParallelModelError
+from repro.ordering.heuristic import HeuristicConfig
+from repro.parallel.machine import EPYC_9554, MachineSpec
+from repro.parallel.sched import DynamicScheduler, Scheduler
+
+__all__ = ["PivotScaleConfig"]
+
+_VALID_ORDERINGS = {
+    None,
+    "heuristic",
+    "core",
+    "degree",
+    "approx_core",
+    "kcore",
+    "centrality",
+}
+
+
+@dataclass
+class PivotScaleConfig:
+    """Knobs of the full pipeline, defaulting to the paper's choices.
+
+    Attributes
+    ----------
+    structure:
+        Subgraph structure; ``"remap"`` is PivotScale's default
+        (Sec. IV), ``"dense"``/``"sparse"`` reproduce the ablations.
+    ordering:
+        ``"heuristic"`` (default) runs the Sec. III-E selector; a
+        concrete name forces that ordering (``"core"``, ``"degree"``,
+        ``"approx_core"``, ``"kcore"``, ``"centrality"``).
+    threads:
+        Modeled thread count for phase times (the paper uses 64).
+    machine:
+        Machine model for phase times.
+    scheduler:
+        Task scheduler for the counting phase model.
+    heuristic:
+        Thresholds + eps for the selector / core approximation.
+    effective_num_vertices:
+        Paper-scale ``|V|`` when counting a scaled-down analog
+        (see :mod:`repro.datasets`); ``None`` uses the graph's own.
+    """
+
+    structure: str = "remap"
+    ordering: str | None = "heuristic"
+    threads: int = 64
+    machine: MachineSpec = EPYC_9554
+    scheduler: Scheduler = field(default_factory=DynamicScheduler)
+    heuristic: HeuristicConfig = field(default_factory=HeuristicConfig)
+    effective_num_vertices: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.structure not in ("dense", "sparse", "remap"):
+            raise CountingError(f"unknown structure {self.structure!r}")
+        if self.ordering not in _VALID_ORDERINGS:
+            raise CountingError(f"unknown ordering {self.ordering!r}")
+        if self.threads < 1:
+            raise ParallelModelError("threads must be >= 1")

@@ -1,0 +1,34 @@
+"""Clique-size distribution helpers (paper Fig. 1 / Table I).
+
+Thin conveniences over :meth:`repro.counting.sct.SCTEngine.count_all`:
+the full size distribution (which peaks near ``k_max / 2`` — the
+paper's motivating observation) and the largest clique size ``k_max``.
+"""
+
+from __future__ import annotations
+
+from repro.counting.sct import count_all_sizes
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering
+from repro.ordering.core import core_ordering
+
+__all__ = ["clique_size_distribution", "max_clique_size"]
+
+
+def clique_size_distribution(
+    g: CSRGraph, ordering: Ordering | None = None
+) -> list[int]:
+    """``result[s]`` = number of s-cliques for every s up to ``k_max``.
+
+    A clique of size ``n`` contains ``C(n, k)`` k-cliques, maximized at
+    ``k ~ n/2`` — so graphs with one large maximal clique peak in the
+    middle of this distribution (Fig. 1).
+    """
+    ordn = core_ordering(g) if ordering is None else ordering
+    return count_all_sizes(g, ordn).all_counts or [0]
+
+
+def max_clique_size(g: CSRGraph, ordering: Ordering | None = None) -> int:
+    """The graph's ``k_max`` (Table I column), via the same SCT pass."""
+    dist = clique_size_distribution(g, ordering)
+    return len(dist) - 1

@@ -1,0 +1,51 @@
+"""Exact binomial coefficients with a growing cached Pascal triangle.
+
+The SCT leaf rule charges ``C(np, k - |C| + np)`` per leaf (Alg. 1 line
+10) and the all-k variant needs a whole row per leaf, so coefficient
+lookup is on the counting hot path.  We cache full rows: a leaf with
+``np`` pivots reads row ``np`` directly.  Values are Python ints —
+clique counts reach 10^23 on the LiveJournal workload (Table VI).
+"""
+
+from __future__ import annotations
+
+__all__ = ["binomial", "binomial_row", "BinomialTable"]
+
+
+class BinomialTable:
+    """Pascal's triangle grown on demand; rows are immutable tuples."""
+
+    def __init__(self) -> None:
+        self._rows: list[tuple[int, ...]] = [(1,)]
+
+    def row(self, n: int) -> tuple[int, ...]:
+        """Row ``n``: ``(C(n,0), ..., C(n,n))``."""
+        if n < 0:
+            raise ValueError("binomial row index must be >= 0")
+        rows = self._rows
+        while len(rows) <= n:
+            prev = rows[-1]
+            nxt = [1] * (len(prev) + 1)
+            for i in range(1, len(prev)):
+                nxt[i] = prev[i - 1] + prev[i]
+            rows.append(tuple(nxt))
+        return rows[n]
+
+    def choose(self, n: int, k: int) -> int:
+        """``C(n, k)``; 0 outside ``0 <= k <= n``."""
+        if k < 0 or k > n or n < 0:
+            return 0
+        return self.row(n)[k]
+
+
+_TABLE = BinomialTable()
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact ``C(n, k)`` from the shared cached table (0 out of range)."""
+    return _TABLE.choose(n, k)
+
+
+def binomial_row(n: int) -> tuple[int, ...]:
+    """Row ``n`` of Pascal's triangle from the shared cached table."""
+    return _TABLE.row(n)

@@ -1,0 +1,90 @@
+"""Slow, obviously-correct clique-counting oracles for the test suite.
+
+Nothing here is performance-relevant; these implementations exist so
+that every fast path (SCT, enumeration, per-vertex, all-k) can be
+cross-checked on small graphs where exhaustive search is feasible.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import CountingError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["brute_force_count", "brute_force_all_sizes", "networkx_count",
+           "brute_force_per_vertex"]
+
+
+def brute_force_count(g: CSRGraph, k: int) -> int:
+    """Count k-cliques by testing every k-subset.  ``O(n^k)`` — keep
+    ``n`` small (tests use ``n <= 16``)."""
+    if k < 1:
+        raise CountingError("k must be >= 1")
+    n = g.num_vertices
+    if k > n:
+        return 0
+    adj = g.adjacency_sets()
+    count = 0
+    for subset in combinations(range(n), k):
+        if all(v in adj[u] for u, v in combinations(subset, 2)):
+            count += 1
+    return count
+
+
+def brute_force_all_sizes(g: CSRGraph) -> list[int]:
+    """``result[s]`` = number of s-cliques, for every s (brute force)."""
+    n = g.num_vertices
+    counts = [0] * (n + 1)
+    counts[0] = 1  # the empty clique, by convention excluded below
+    for k in range(1, n + 1):
+        c = brute_force_count(g, k)
+        counts[k] = c
+        if c == 0 and k > 1:
+            break
+    while len(counts) > 1 and counts[-1] == 0:
+        counts.pop()
+    counts[0] = 0  # match the engine's convention: no empty clique
+    return counts
+
+
+def brute_force_per_vertex(g: CSRGraph, k: int) -> list[int]:
+    """Per-vertex k-clique participation counts by exhaustive search."""
+    if k < 1:
+        raise CountingError("k must be >= 1")
+    n = g.num_vertices
+    adj = g.adjacency_sets()
+    per = [0] * n
+    for subset in combinations(range(n), min(k, n) if k <= n else 0):
+        if len(subset) == k and all(
+            v in adj[u] for u, v in combinations(subset, 2)
+        ):
+            for u in subset:
+                per[u] += 1
+    return per
+
+
+def networkx_count(g: CSRGraph, k: int) -> int:
+    """k-clique count via networkx's maximal-clique enumeration.
+
+    Usable on mid-size graphs (thousands of vertices) as an independent
+    oracle; requires networkx (a test-only dependency).
+    """
+    import networkx as nx
+
+    if k < 1:
+        raise CountingError("k must be >= 1")
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    nxg.add_edges_from(g.edges())
+    # Sum over maximal cliques overcounts shared sub-cliques, so count
+    # distinct k-subsets via inclusion in any maximal clique.
+    if k <= 2:
+        return g.num_vertices if k == 1 else g.num_edges
+    seen: set[tuple[int, ...]] = set()
+    for maximal in nx.find_cliques(nxg):
+        if len(maximal) < k:
+            continue
+        for sub in combinations(sorted(maximal), k):
+            seen.add(sub)
+    return len(seen)

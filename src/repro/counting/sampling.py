@@ -1,0 +1,117 @@
+"""Approximate k-clique counting by sampling.
+
+The paper's related work surveys approximation via sampling (Turán
+shadow, color-based sampling) as the alternative when exact counting is
+too expensive.  Two estimators are provided, both *unbiased* and both
+reusing the exact SCT engine on a sparsified graph, so accuracy can be
+traded for time without new counting machinery:
+
+* **vertex sampling** — keep each vertex independently with probability
+  ``p``; every k-clique survives with probability ``p^k``, so
+  ``count(sample) / p^k`` is unbiased.
+* **color sparsification** — partition vertices into ``t`` color
+  classes uniformly; keep only monochromatic edges and count within
+  classes.  A k-clique survives iff all members share a color
+  (probability ``t^{1-k}``), giving the color-based estimator of Ye et
+  al. [49] in its simplest form.  Denser locally, sparser globally —
+  typically lower variance per unit work on clique-rich graphs.
+
+Averaging ``repeats`` independent estimates tightens the estimate as
+``1/sqrt(repeats)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.counting.sct import count_kcliques
+from repro.errors import CountingError
+from repro.graph.build import from_edge_array, induced_subgraph
+from repro.graph.csr import CSRGraph
+from repro.ordering.core import core_ordering
+
+__all__ = ["ApproxCount", "sample_count_vertex", "sample_count_color"]
+
+
+@dataclass(frozen=True)
+class ApproxCount:
+    """An unbiased estimate with its per-repeat spread.
+
+    ``std_error`` is the standard error of the mean across repeats
+    (0 when ``repeats == 1``).
+    """
+
+    estimate: float
+    std_error: float
+    k: int
+    repeats: int
+    method: str
+
+
+def _check(k: int, repeats: int) -> None:
+    if k < 1:
+        raise CountingError(f"clique size k must be >= 1, got {k}")
+    if repeats < 1:
+        raise CountingError("repeats must be >= 1")
+
+
+def _summarize(samples: list[float], k: int, method: str) -> ApproxCount:
+    arr = np.asarray(samples, dtype=np.float64)
+    se = float(arr.std(ddof=1) / np.sqrt(arr.size)) if arr.size > 1 else 0.0
+    return ApproxCount(
+        estimate=float(arr.mean()),
+        std_error=se,
+        k=k,
+        repeats=arr.size,
+        method=method,
+    )
+
+
+def sample_count_vertex(
+    g: CSRGraph,
+    k: int,
+    p: float,
+    *,
+    repeats: int = 5,
+    seed: int = 0,
+) -> ApproxCount:
+    """Vertex-sampling estimator: count on a ``p``-fraction induced
+    subgraph, scale by ``p^{-k}``."""
+    _check(k, repeats)
+    if not 0.0 < p <= 1.0:
+        raise CountingError("sampling probability p must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    samples: list[float] = []
+    for _ in range(repeats):
+        keep = np.flatnonzero(rng.random(g.num_vertices) < p)
+        sub = induced_subgraph(g, keep)
+        c = count_kcliques(sub, k, core_ordering(sub)).count or 0
+        samples.append(float(c) / p**k)
+    return _summarize(samples, k, "vertex-sampling")
+
+
+def sample_count_color(
+    g: CSRGraph,
+    k: int,
+    num_colors: int,
+    *,
+    repeats: int = 5,
+    seed: int = 0,
+) -> ApproxCount:
+    """Color-sparsification estimator: keep monochromatic edges only,
+    scale by ``t^{k-1}``."""
+    _check(k, repeats)
+    if num_colors < 1:
+        raise CountingError("num_colors must be >= 1")
+    rng = np.random.default_rng(seed)
+    edges = g.edge_array()
+    samples: list[float] = []
+    for _ in range(repeats):
+        colors = rng.integers(0, num_colors, size=g.num_vertices)
+        mono = edges[colors[edges[:, 0]] == colors[edges[:, 1]]]
+        sub = from_edge_array(mono, num_vertices=g.num_vertices)
+        c = count_kcliques(sub, k, core_ordering(sub)).count or 0
+        samples.append(float(c) * float(num_colors) ** (k - 1))
+    return _summarize(samples, k, "color-sparsification")

@@ -1,0 +1,372 @@
+"""The SCT (succinct clique tree) pivot recursion — paper Algorithm 1.
+
+For each root vertex ``v`` of the DAG, the engine builds the induced
+subgraph over ``v``'s out-neighborhood (symmetrized, per Sec. V-A) and
+explores it with Bron-Kerbosch-style pivoting: at every node it picks
+the pivot ``p`` maximizing ``|N(p) ∩ P|``, recurses once on ``N(p) ∩ P``
+with ``p`` recorded as *optional* (a pivot), and once per non-neighbor
+``w`` of ``p`` with ``w`` recorded as *required* (held).  Each leaf
+therefore encodes the clique family ``{H ∪ S : S ⊆ Π}`` exactly once,
+and contributes ``C(|Π|, k - |H|)`` k-cliques — the reason Pivoter's
+cost is independent of ``k``.
+
+Candidate sets and adjacency rows are Python big-int bitsets: ``&`` and
+``int.bit_count()`` do the work of the paper's word-parallel set
+operations, and passing masks down the recursion plays the role of the
+C++ reversible subgraph mutations (see DESIGN.md).
+
+Implementation subtleties carried over from Sec. V-A:
+
+* early exit when the held set alone reaches ``k`` (one k-clique
+  remains in the subtree: the held set itself);
+* early termination when ``|H| + |Π| + |P| < k`` (target too far);
+* the all-k variant reuses the same tree and charges a whole binomial
+  row per leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.counting.binomial import binomial, binomial_row
+from repro.counting.counters import Counters
+from repro.counting.structures import STRUCTURES, SubgraphStructure
+from repro.errors import CountingError
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering
+from repro.ordering.directionalize import directionalize
+
+__all__ = ["SCTEngine", "CountResult", "count_kcliques", "count_all_sizes"]
+
+
+@dataclass
+class CountResult:
+    """Outcome of one counting run.
+
+    Attributes
+    ----------
+    count:
+        Number of k-cliques (exact Python int) for target-k runs;
+        ``None`` for all-k runs.
+    all_counts:
+        For all-k runs, ``all_counts[s]`` is the number of s-cliques,
+        ``s = 0 .. max clique size`` (trailing zeros trimmed).
+    k:
+        The target clique size (``None`` for all-k).
+    counters:
+        Aggregated instrumentation for the whole run.
+    per_root_work:
+        Work units per root vertex — the task sizes the parallel
+        scheduler model distributes across threads.
+    per_root_memory:
+        Modeled per-root subgraph footprint in bytes (peak drives the
+        cache model).
+    structure:
+        Name of the subgraph structure used.
+    """
+
+    count: int | None
+    all_counts: list[int] | None
+    k: int | None
+    counters: Counters
+    per_root_work: np.ndarray
+    per_root_memory: np.ndarray
+    structure: str
+
+    @property
+    def max_clique_size(self) -> int:
+        """Largest clique size observed (all-k runs only)."""
+        if self.all_counts is None:
+            raise CountingError("max_clique_size requires an all-k run")
+        return len(self.all_counts) - 1
+
+
+class SCTEngine:
+    """Pivoting clique counter over a (graph, ordering-or-DAG) pair.
+
+    Parameters
+    ----------
+    graph:
+        The undirected input graph.
+    ordering:
+        An :class:`~repro.ordering.base.Ordering`, a rank array, or an
+        already-directionalized DAG.
+    structure:
+        Subgraph structure name (``"remap"`` default) or an instance.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        ordering: Ordering | np.ndarray | CSRGraph,
+        structure: str | SubgraphStructure = "remap",
+    ) -> None:
+        if graph.directed:
+            raise CountingError("input graph must be undirected")
+        if isinstance(ordering, CSRGraph):
+            if not ordering.directed:
+                raise CountingError("pass a DAG or an ordering, not a 2nd graph")
+            dag = ordering
+        else:
+            dag = directionalize(graph, ordering)
+        self.graph = graph
+        self.dag = dag
+        if isinstance(structure, SubgraphStructure):
+            self.structure = structure
+        else:
+            try:
+                self.structure = STRUCTURES[structure](graph, dag)
+            except KeyError:
+                raise CountingError(
+                    f"unknown structure {structure!r}; "
+                    f"expected one of {sorted(STRUCTURES)}"
+                ) from None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def count(self, k: int, *, early_termination: bool = True) -> CountResult:
+        """Count k-cliques exactly.
+
+        ``early_termination`` toggles the Sec. V-A reach prune
+        (``|H| + |Π| + |P| < k``); disabling it reproduces the ablation
+        in ``benchmarks/bench_ablation.py``.  Counts are identical
+        either way — only the tree size changes.
+        """
+        if k < 1:
+            raise CountingError(f"clique size k must be >= 1, got {k}")
+        return self._run(k=k, early_termination=early_termination)
+
+    def count_all(self, max_k: int | None = None) -> CountResult:
+        """Count cliques of *every* size up to ``max_k`` (default: all).
+
+        This is the "modest amount of additional work" variant the
+        paper describes in Sec. V-A: the same tree, with a binomial
+        row instead of a single coefficient per leaf.
+        """
+        return self._run(k=None, max_k=max_k)
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        k: int | None,
+        max_k: int | None = None,
+        early_termination: bool = True,
+    ) -> CountResult:
+        n = self.graph.num_vertices
+        totals = Counters()
+        per_root_work = np.zeros(n, dtype=np.float64)
+        per_root_memory = np.zeros(n, dtype=np.float64)
+        # Largest possible clique = max out-degree + 1 (root + subgraph).
+        size_cap = self.dag.max_degree + 2
+        if max_k is not None:
+            size_cap = min(size_cap, max_k + 1)
+        all_counts: list[int] | None = None
+        total = 0
+        if k is None:
+            all_counts = [0] * max(size_cap, 2)
+        for v in range(n):
+            ctr = Counters()
+            if k is None:
+                self._count_root_all(v, all_counts, ctr, max_k)
+            else:
+                total += self._count_root_k(v, k, ctr, early_termination)
+            per_root_work[v] = ctr.work
+            per_root_memory[v] = ctr.peak_subgraph_bytes
+            totals.merge(ctr)
+        if all_counts is not None:
+            while len(all_counts) > 1 and all_counts[-1] == 0:
+                all_counts.pop()
+        return CountResult(
+            count=None if k is None else total,
+            all_counts=all_counts,
+            k=k,
+            counters=totals,
+            per_root_work=per_root_work,
+            per_root_memory=per_root_memory,
+            structure=self.structure.name,
+        )
+
+    # ------------------------------------------------------------------
+    # per-root recursions
+    # ------------------------------------------------------------------
+    def _count_root_k(
+        self, v: int, k: int, ctr: Counters, early_termination: bool = True
+    ) -> int:
+        ctx = self.structure.build(v)
+        ctr.subgraph_builds += 1
+        ctr.build_words += ctx.build_words
+        ctr.peak_subgraph_bytes = max(ctr.peak_subgraph_bytes, ctx.memory_bytes)
+        d = ctx.d
+        row = ctx.row
+        lw = ctx.lookup_weight
+        full = (1 << d) - 1
+        binom = binomial
+        # Hot-path counters accumulate in a plain list (fast item ops)
+        # and fold into the dataclass once per root:
+        # [calls, leaves, early, scan vertices, branch vertices,
+        #  max_depth, edge work].  Work is charged *edge-granularly*
+        #  (one unit per adjacency entry a set operation touches), the
+        #  cost the paper's array-based implementation actually pays —
+        #  this is what makes counting work sensitive to the ordering's
+        #  subgraph sizes (Table II / Table III).
+        acc = [0, 0, 0, 0, 0, 0, 0]
+
+        def rec(P: int, pc: int, held: int, pivots: int) -> int:
+            acc[0] += 1
+            if held == k:
+                # Exactly one k-clique remains below: the held set.
+                acc[1] += 1
+                depth = held + pivots
+                if depth > acc[5]:
+                    acc[5] = depth
+                return 1
+            if pc == 0:
+                acc[1] += 1
+                depth = held + pivots
+                if depth > acc[5]:
+                    acc[5] = depth
+                return binom(pivots, k - held)
+            if early_termination and held + pivots + pc < k:
+                acc[2] += 1
+                return 0
+            # Pivot selection: scan every candidate's row once.
+            acc[3] += pc
+            edge_sum = 0
+            best = -1
+            best_cnt = -1
+            best_row = 0
+            scan = P
+            while scan:
+                low = scan & -scan
+                r = row(low.bit_length() - 1) & P
+                c = r.bit_count()
+                edge_sum += c
+                if c > best_cnt:
+                    best_cnt = c
+                    best = low.bit_length() - 1
+                    best_row = r
+                    if c == pc - 1:
+                        break  # perfect pivot: adjacent to all others
+                scan ^= low
+            total = rec(best_row, best_cnt, held, pivots + 1)
+            P &= ~(1 << best)
+            cand = P & ~best_row
+            acc[4] += cand.bit_count()
+            held1 = held + 1
+            while cand:
+                low = cand & -cand
+                child = row(low.bit_length() - 1) & P
+                cc = child.bit_count()
+                edge_sum += cc
+                total += rec(child, cc, held1, pivots)
+                P ^= low
+                cand ^= low
+            acc[6] += edge_sum
+            return total
+
+        result = rec(full, d, 1, 0)
+        ctr.function_calls += acc[0]
+        ctr.leaves += acc[1]
+        ctr.early_terminations += acc[2]
+        ctr.index_lookups += (acc[3] + acc[4]) * lw
+        ctr.set_op_words += acc[6] + acc[3] + acc[4]
+        ctr.max_depth = max(ctr.max_depth, acc[5])
+        return result
+
+    def _count_root_all(
+        self, v: int, counts: list[int], ctr: Counters, max_k: int | None
+    ) -> None:
+        ctx = self.structure.build(v)
+        ctr.subgraph_builds += 1
+        ctr.build_words += ctx.build_words
+        ctr.peak_subgraph_bytes = max(ctr.peak_subgraph_bytes, ctx.memory_bytes)
+        d = ctx.d
+        row = ctx.row
+        lw = ctx.lookup_weight
+        full = (1 << d) - 1
+        cap = len(counts) if max_k is None else max_k + 1
+        acc = [0, 0, 0, 0, 0, 0, 0]
+
+        def rec(P: int, pc: int, held: int, pivots: int) -> None:
+            acc[0] += 1
+            if held >= cap:
+                acc[2] += 1
+                return
+            if pc == 0:
+                acc[1] += 1
+                depth = held + pivots
+                if depth > acc[5]:
+                    acc[5] = depth
+                brow = binomial_row(pivots)
+                hi = min(held + pivots + 1, cap)
+                for s in range(held, hi):
+                    counts[s] += brow[s - held]
+                return
+            acc[3] += pc
+            edge_sum = 0
+            best = -1
+            best_cnt = -1
+            best_row = 0
+            scan = P
+            while scan:
+                low = scan & -scan
+                r = row(low.bit_length() - 1) & P
+                c = r.bit_count()
+                edge_sum += c
+                if c > best_cnt:
+                    best_cnt = c
+                    best = low.bit_length() - 1
+                    best_row = r
+                    if c == pc - 1:
+                        break
+                scan ^= low
+            rec(best_row, best_cnt, held, pivots + 1)
+            P &= ~(1 << best)
+            cand = P & ~best_row
+            acc[4] += cand.bit_count()
+            held1 = held + 1
+            while cand:
+                low = cand & -cand
+                child = row(low.bit_length() - 1) & P
+                cc = child.bit_count()
+                edge_sum += cc
+                rec(child, cc, held1, pivots)
+                P ^= low
+                cand ^= low
+            acc[6] += edge_sum
+
+        rec(full, d, 1, 0)
+        ctr.function_calls += acc[0]
+        ctr.leaves += acc[1]
+        ctr.early_terminations += acc[2]
+        ctr.index_lookups += (acc[3] + acc[4]) * lw
+        ctr.set_op_words += acc[6] + acc[3] + acc[4]
+        ctr.max_depth = max(ctr.max_depth, acc[5])
+
+
+# ----------------------------------------------------------------------
+# convenience wrappers
+# ----------------------------------------------------------------------
+def count_kcliques(
+    graph: CSRGraph,
+    k: int,
+    ordering: Ordering | np.ndarray | CSRGraph,
+    structure: str = "remap",
+) -> CountResult:
+    """Count k-cliques of ``graph`` under ``ordering`` — one-shot API."""
+    return SCTEngine(graph, ordering, structure).count(k)
+
+
+def count_all_sizes(
+    graph: CSRGraph,
+    ordering: Ordering | np.ndarray | CSRGraph,
+    structure: str = "remap",
+    max_k: int | None = None,
+) -> CountResult:
+    """Count cliques of every size (Fig. 1's distribution) — one-shot."""
+    return SCTEngine(graph, ordering, structure).count_all(max_k=max_k)

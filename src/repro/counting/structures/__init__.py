@@ -1,0 +1,40 @@
+"""Per-root induced-subgraph structures (paper Fig. 4).
+
+All three store the same local adjacency — bitset rows over the root's
+out-neighborhood remapped to ``[0, d)`` — and differ in the *index* used
+to reach a row during the recursion, which is exactly the distinction
+the paper draws:
+
+* :class:`DenseStructure` — a ``|V|``-sized direct-index array per
+  thread (original Pivoter).  Fast access, huge per-thread footprint.
+* :class:`SparseStructure` — a hash map keyed by global vertex id.
+  Small footprint, ~1.2x lookup cost (the paper's measurement).
+* :class:`RemapStructure` — remap global ids to ``[0, d)`` once at the
+  first level, then direct-index a ``d``-sized array.  Fast access and
+  small footprint; PivotScale's default.
+
+Counts are identical across structures (tested); what differs is the
+lookup-cost accounting and the modeled memory footprint that feed the
+Fig. 9 / Fig. 11 performance model.
+"""
+
+from repro.counting.structures.base import SubgraphStructure, RootContext
+from repro.counting.structures.dense import DenseStructure
+from repro.counting.structures.sparse import SparseStructure
+from repro.counting.structures.remap import RemapStructure
+
+STRUCTURES: dict[str, type[SubgraphStructure]] = {
+    "dense": DenseStructure,
+    "sparse": SparseStructure,
+    "remap": RemapStructure,
+}
+"""Registry keyed by the names used throughout the paper's figures."""
+
+__all__ = [
+    "SubgraphStructure",
+    "RootContext",
+    "DenseStructure",
+    "SparseStructure",
+    "RemapStructure",
+    "STRUCTURES",
+]

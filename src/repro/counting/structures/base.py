@@ -1,0 +1,132 @@
+"""Shared machinery for the three subgraph structures.
+
+Building the first-level induced subgraph (Alg. 1 line 5) is identical
+for every structure: take the root's DAG out-neighborhood ``out`` (the
+subgraph's vertex set), and for each member intersect its *undirected*
+neighbor list with ``out`` — the paper symmetrizes the first level
+(Sec. V-A) — producing one bitset row per member over local ids
+``[0, d)``.  Local id ``i`` is the position of ``out[i]`` in the sorted
+out-neighbor array.
+
+Structures differ only in :meth:`RootContext.row` — how a row is
+reached during the recursion — and in the modeled per-thread memory
+footprint.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SubgraphStructure", "RootContext", "build_local_rows"]
+
+_POW2 = [1 << i for i in range(64)]
+
+
+def build_local_rows(
+    g: CSRGraph, out: np.ndarray
+) -> tuple[list[int], float]:
+    """Bitset adjacency rows of the subgraph induced by ``out`` on the
+    undirected graph ``g``.
+
+    Returns ``(rows, build_words)`` where ``build_words`` charges one
+    unit per neighbor-list entry scanned during the intersection — the
+    real induction work the paper attributes to lines 5/14.
+    """
+    d = int(out.size)
+    rows: list[int] = []
+    build_words = 0.0
+    for i in range(d):
+        nbrs = g.neighbors(int(out[i]))
+        build_words += float(nbrs.size)
+        idx = np.searchsorted(out, nbrs)
+        idx_clipped = np.minimum(idx, d - 1)
+        hit = out[idx_clipped] == nbrs
+        sel = idx_clipped[hit]
+        if sel.size:
+            flags = np.zeros(d, dtype=np.uint8)
+            flags[sel] = 1
+            mask = int.from_bytes(
+                np.packbits(flags, bitorder="little").tobytes(), "little"
+            )
+        else:
+            mask = 0
+        rows.append(mask)
+    return rows, build_words
+
+
+class RootContext:
+    """One root vertex's induced subgraph, ready for the recursion.
+
+    Attributes
+    ----------
+    d:
+        Subgraph size (the root's DAG out-degree).
+    out:
+        Sorted global ids of the subgraph's vertices; local id ``i``
+        names ``out[i]``.
+    row:
+        Callable ``local id -> bitset row``; the structure-specific
+        index path.
+    lookup_weight:
+        Cost charged per :attr:`row` access (dense/remap 1.0, hash 1.2).
+    memory_bytes:
+        Modeled per-thread footprint of this structure while the root
+        is being processed (feeds the LLC model).
+    build_words:
+        Work spent on the first-level induction (plus remap where
+        applicable).
+    """
+
+    __slots__ = ("d", "out", "row", "lookup_weight", "memory_bytes", "build_words")
+
+    def __init__(
+        self,
+        d: int,
+        out: np.ndarray,
+        row: Callable[[int], int],
+        lookup_weight: float,
+        memory_bytes: int,
+        build_words: float,
+    ) -> None:
+        self.d = d
+        self.out = out
+        self.row = row
+        self.lookup_weight = lookup_weight
+        self.memory_bytes = memory_bytes
+        self.build_words = build_words
+
+
+class SubgraphStructure(abc.ABC):
+    """Factory for per-root contexts over a (graph, DAG) pair.
+
+    Instances are meant to be reused across roots — the paper's
+    allocation-reuse discipline (Sec. V-B); the dense structure in
+    particular allocates its ``|V|``-sized index once.
+    """
+
+    #: registry name ("dense" / "sparse" / "remap")
+    name: str = "base"
+    #: cost per index access, relative to a direct array load
+    lookup_weight: float = 1.0
+
+    def __init__(self, graph: CSRGraph, dag: CSRGraph) -> None:
+        if graph.directed or not dag.directed:
+            raise ValueError("expected (undirected graph, DAG) pair")
+        if graph.num_vertices != dag.num_vertices:
+            raise ValueError("graph and DAG vertex counts differ")
+        self.graph = graph
+        self.dag = dag
+
+    @abc.abstractmethod
+    def build(self, v: int) -> RootContext:
+        """Induce the first-level subgraph for root ``v``."""
+
+    def bitset_bytes(self, d: int) -> int:
+        """Footprint of the ``d x d`` bitset adjacency itself."""
+        words = (d + 63) >> 6
+        return d * words * 8

@@ -1,0 +1,61 @@
+"""Dense subgraph structure — original Pivoter's layout (Fig. 4A).
+
+The index is an array of size ``|V|`` mapping a *global* vertex id to
+its adjacency row.  Access is a direct array load (weight 1.0), but the
+index alone costs ``8 |V|`` bytes per thread: with 64 threads on a
+large graph "these indices alone will consume more memory than the
+original graph" (paper Sec. IV) — the cause of the 32-thread scaling
+plateau the compact structures fix.
+
+The slot array is allocated once and reused across roots (only the
+touched entries are reset), mirroring the paper's allocation-reuse
+discipline.
+"""
+
+from __future__ import annotations
+
+from repro.counting.structures.base import (
+    RootContext,
+    SubgraphStructure,
+    build_local_rows,
+)
+
+__all__ = ["DenseStructure"]
+
+
+class DenseStructure(SubgraphStructure):
+    """|V|-sized direct-index subgraph (PivotScale (dense))."""
+
+    name = "dense"
+    lookup_weight = 1.0
+
+    def __init__(self, graph, dag):  # noqa: D107 - see base class
+        super().__init__(graph, dag)
+        self._slots: list[int] = [0] * graph.num_vertices
+        self._touched: list[int] = []
+
+    def build(self, v: int) -> RootContext:
+        out = self.dag.neighbors(v)
+        d = int(out.size)
+        # Reset only previously used slots (cheap reuse, not realloc).
+        for gid in self._touched:
+            self._slots[gid] = 0
+        self._touched = [int(g) for g in out]
+        rows, build_words = build_local_rows(self.graph, out)
+        slots = self._slots
+        for gid, mask in zip(self._touched, rows):
+            slots[gid] = mask
+        out_list = self._touched
+
+        def row(i: int, _slots=slots, _out=out_list) -> int:
+            return _slots[_out[i]]
+
+        memory = 8 * self.graph.num_vertices + self.bitset_bytes(d)
+        return RootContext(
+            d=d,
+            out=out,
+            row=row,
+            lookup_weight=self.lookup_weight,
+            memory_bytes=memory,
+            build_words=build_words,
+        )

@@ -1,0 +1,50 @@
+"""Sparse subgraph structure — hash-indexed (Fig. 4B).
+
+Only the (at most ``d``) vertices with non-zero subgraph degree are
+indexed, via a hash map from global id to row.  The footprint shrinks
+from ``O(|V|)`` to ``O(max out-degree)`` — often cache-resident — at
+the price of a hash lookup per access, which the paper measures at
+~1.2x a direct array load.  "For large graphs like Friendster, this
+optimization is able to overcome the scaling plateau from 32 threads to
+64 threads" (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from repro.counting.structures.base import (
+    RootContext,
+    SubgraphStructure,
+    build_local_rows,
+)
+
+__all__ = ["SparseStructure"]
+
+# Modeled bytes per hash-map entry: key + value + bucket overhead.
+_HASH_ENTRY_BYTES = 48
+
+
+class SparseStructure(SubgraphStructure):
+    """Hash-map-indexed subgraph (PivotScale (sparse))."""
+
+    name = "sparse"
+    lookup_weight = 1.2
+
+    def build(self, v: int) -> RootContext:
+        out = self.dag.neighbors(v)
+        d = int(out.size)
+        rows, build_words = build_local_rows(self.graph, out)
+        table = {int(g): mask for g, mask in zip(out, rows)}
+        out_list = [int(g) for g in out]
+
+        def row(i: int, _table=table, _out=out_list) -> int:
+            return _table[_out[i]]
+
+        memory = _HASH_ENTRY_BYTES * d + self.bitset_bytes(d)
+        return RootContext(
+            d=d,
+            out=out,
+            row=row,
+            lookup_weight=self.lookup_weight,
+            memory_bytes=memory,
+            build_words=build_words,
+        )

@@ -1,0 +1,27 @@
+"""The evaluation graph suite: scaled-down analogs of Table I.
+
+The paper evaluates on eight SNAP/Konect graphs (0.3M-65.6M vertices)
+that cannot be downloaded in this offline environment, so the suite is
+reproduced as deterministic synthetic analogs a few thousand vertices
+each.  Every analog is constructed to match its original's *behavioral
+fingerprint* — the properties the paper's analysis actually depends on:
+
+* degree-distribution skew (power-law background),
+* clique structure: ``k_max`` scaled to roughly a third of the paper's
+  (so SCT trees stay tractable in pure Python) and clique-richness
+  (LiveJournal's overlap explosion, Web-Edu's one huge clique),
+* the Sec. III-E heuristic signals — hub assortativity (``a/|V|``) and
+  hub common-neighbor fraction — placed on the same side of the
+  thresholds as in Table IV, judged at each analog's *effective*
+  (paper-scale) vertex count.
+"""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    REGISTRY,
+    dataset_names,
+    get_spec,
+    load,
+)
+
+__all__ = ["DatasetSpec", "REGISTRY", "dataset_names", "get_spec", "load"]

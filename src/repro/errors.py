@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so downstream code can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "OrderingError",
+    "CountingError",
+    "ParallelModelError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when input graph data is malformed or inconsistent."""
+
+
+class OrderingError(ReproError):
+    """Raised when an ordering cannot be computed or is invalid."""
+
+
+class CountingError(ReproError):
+    """Raised for invalid clique-counting requests (e.g. ``k < 1``)."""
+
+
+class ParallelModelError(ReproError):
+    """Raised for invalid machine/scheduler model configurations."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset analog is unknown or cannot be built."""

@@ -1,0 +1,27 @@
+"""Graph substrate: CSR storage, builders, I/O, statistics, generators.
+
+The whole library operates on :class:`~repro.graph.csr.CSRGraph`, a
+compressed-sparse-row adjacency structure mirroring the representation
+used by the GAP Benchmark Suite code the paper builds on.  Undirected
+graphs store both edge directions; directionalized DAGs (see
+:mod:`repro.ordering.directionalize`) store out-neighbors only.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.build import (
+    from_edge_array,
+    from_edge_list,
+    from_adjacency,
+    induced_subgraph,
+)
+from repro.graph.validate import validate_graph, GraphReport
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_array",
+    "from_edge_list",
+    "from_adjacency",
+    "induced_subgraph",
+    "validate_graph",
+    "GraphReport",
+]

@@ -1,0 +1,77 @@
+"""Interoperability: CSRGraph <-> networkx / scipy.sparse.
+
+The library is self-contained (NumPy only), but downstream analyses
+often live in networkx or scipy; these converters make the boundary
+one line.  networkx and scipy are *optional* dependencies — imported
+lazily so the core package works without them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "to_scipy_sparse",
+    "from_scipy_sparse",
+]
+
+
+def to_networkx(g: CSRGraph):
+    """Convert to ``networkx.Graph`` (or ``DiGraph`` for DAGs)."""
+    import networkx as nx
+
+    nxg = nx.DiGraph() if g.directed else nx.Graph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    nxg.add_edges_from(g.edges())
+    return nxg
+
+
+def from_networkx(nxg) -> CSRGraph:
+    """Convert an undirected ``networkx.Graph`` with integer node ids
+    ``0..n-1`` (relabel first if needed)."""
+    import networkx as nx
+
+    if nxg.is_directed():
+        raise GraphFormatError(
+            "from_networkx expects an undirected graph; "
+            "directionalize with repro.ordering instead"
+        )
+    n = nxg.number_of_nodes()
+    nodes = set(nxg.nodes)
+    if nodes != set(range(n)):
+        raise GraphFormatError(
+            "node ids must be 0..n-1; use networkx.convert_node_labels_"
+            "to_integers first"
+        )
+    edges = np.array(list(nxg.edges), dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(edges, num_vertices=n)
+
+
+def to_scipy_sparse(g: CSRGraph):
+    """Convert to ``scipy.sparse.csr_array`` (0/1 adjacency)."""
+    from scipy.sparse import csr_array
+
+    n = g.num_vertices
+    data = np.ones(g.num_directed_edges, dtype=np.int8)
+    return csr_array((data, g.indices.copy(), g.indptr.copy()), shape=(n, n))
+
+
+def from_scipy_sparse(mat) -> CSRGraph:
+    """Convert a square scipy sparse matrix; nonzero pattern = edges.
+
+    The pattern is symmetrized and self loops dropped, matching the
+    library's normalization.
+    """
+    from scipy.sparse import coo_array
+
+    coo = coo_array(mat)
+    if coo.shape[0] != coo.shape[1]:
+        raise GraphFormatError(f"adjacency must be square, got {coo.shape}")
+    edges = np.column_stack((coo.row, coo.col)).astype(np.int64)
+    return from_edge_array(edges, num_vertices=coo.shape[0])

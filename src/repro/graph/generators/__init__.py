@@ -1,0 +1,40 @@
+"""Synthetic graph generators.
+
+The paper evaluates on eight SNAP/Konect graphs that cannot be shipped or
+downloaded here, so :mod:`repro.datasets` composes these generators into
+deterministic scaled-down analogs with matched topology character:
+power-law degree tails (Chung-Lu / R-MAT), planted clique structure, and
+controllable hub assortativity.
+"""
+
+from repro.graph.generators.classic import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    turan_graph,
+    erdos_renyi,
+    complete_multipartite,
+)
+from repro.graph.generators.chung_lu import chung_lu, power_law_degrees
+from repro.graph.generators.rmat import rmat
+from repro.graph.generators.planted import planted_cliques
+from repro.graph.generators.overlay import overlay, attach_assortative_hub
+
+__all__ = [
+    "complete_graph",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "turan_graph",
+    "erdos_renyi",
+    "complete_multipartite",
+    "chung_lu",
+    "power_law_degrees",
+    "rmat",
+    "planted_cliques",
+    "overlay",
+    "attach_assortative_hub",
+]

@@ -1,0 +1,108 @@
+"""Deterministic classic graphs: oracles and worst/best cases for tests.
+
+These generators exist mainly to give the test suite graphs whose clique
+counts are known in closed form (complete, Turán, multipartite, paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "empty_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "turan_graph",
+    "complete_multipartite",
+    "erdos_renyi",
+]
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """``n`` isolated vertices."""
+    if n < 0:
+        raise GraphFormatError("n must be >= 0")
+    return from_edge_array(np.empty((0, 2), dtype=np.int64), num_vertices=n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """K_n: the number of k-cliques is exactly C(n, k)."""
+    if n < 0:
+        raise GraphFormatError("n must be >= 0")
+    iu = np.triu_indices(n, k=1)
+    edges = np.column_stack(iu).astype(np.int64)
+    return from_edge_array(edges, num_vertices=n)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """P_n: n-1 edges, no cliques beyond edges."""
+    if n < 0:
+        raise GraphFormatError("n must be >= 0")
+    if n < 2:
+        return empty_graph(n)
+    src = np.arange(n - 1, dtype=np.int64)
+    return from_edge_array(np.column_stack((src, src + 1)), num_vertices=n)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """C_n (n >= 3): one triangle iff n == 3."""
+    if n < 3:
+        raise GraphFormatError("cycle requires n >= 3")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return from_edge_array(np.column_stack((src, dst)), num_vertices=n)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Star: vertex 0 connected to ``n_leaves`` leaves; no triangles."""
+    if n_leaves < 0:
+        raise GraphFormatError("n_leaves must be >= 0")
+    if n_leaves == 0:
+        return empty_graph(1)
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    edges = np.column_stack((np.zeros_like(leaves), leaves))
+    return from_edge_array(edges, num_vertices=n_leaves + 1)
+
+
+def complete_multipartite(part_sizes: list[int]) -> CSRGraph:
+    """Complete multipartite graph: k-clique count is the elementary
+    symmetric polynomial e_k of the part sizes."""
+    if any(s < 0 for s in part_sizes):
+        raise GraphFormatError("part sizes must be >= 0")
+    bounds = np.concatenate(([0], np.cumsum(part_sizes))).astype(np.int64)
+    n = int(bounds[-1])
+    part_of = np.empty(n, dtype=np.int64)
+    for i, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+        part_of[lo:hi] = i
+    iu = np.triu_indices(n, k=1)
+    edges = np.column_stack(iu).astype(np.int64)
+    edges = edges[part_of[edges[:, 0]] != part_of[edges[:, 1]]]
+    return from_edge_array(edges, num_vertices=n)
+
+
+def turan_graph(n: int, r: int) -> CSRGraph:
+    """Turán graph T(n, r): the densest K_{r+1}-free graph."""
+    if r < 1 or n < 0:
+        raise GraphFormatError("turan requires n >= 0, r >= 1")
+    base, extra = divmod(n, r)
+    sizes = [base + (1 if i < extra else 0) for i in range(r)]
+    return complete_multipartite(sizes)
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> CSRGraph:
+    """G(n, p) via vectorized upper-triangular coin flips."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphFormatError("p must lie in [0, 1]")
+    if n < 0:
+        raise GraphFormatError("n must be >= 0")
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].size) < p
+    edges = np.column_stack((iu[0][mask], iu[1][mask])).astype(np.int64)
+    return from_edge_array(edges, num_vertices=n)

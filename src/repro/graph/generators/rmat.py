@@ -1,0 +1,59 @@
+"""R-MAT (recursive matrix) graph generator.
+
+R-MAT is the Graph500 / GAP Benchmark Suite generator (the paper's
+implementation starts from GAP reference code); it produces skewed,
+community-structured graphs by recursively dropping edges into an
+adjacency-matrix quadrant chosen with probabilities (a, b, c, d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = ["rmat"]
+
+
+def rmat(
+    scale: int,
+    edge_factor: float = 16.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """Generate an undirected R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count (Graph500 convention).
+    edge_factor:
+        Attempted edges per vertex (duplicates collapse, so the realized
+        count is lower; Graph500 defaults to 16).
+    a, b, c:
+        Quadrant probabilities; ``d = 1 - a - b - c`` must be >= 0.
+        Defaults are the Graph500/GAP values (0.57, 0.19, 0.19).
+    """
+    if scale < 0:
+        raise GraphFormatError("scale must be >= 0")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphFormatError("quadrant probabilities must be >= 0 and sum <= 1")
+    n = 1 << scale
+    m = int(edge_factor * n)
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _bit in range(scale):
+        r = rng.random(m)
+        # Quadrant choice: [a | b / c | d] over (row half, col half).
+        row_hi = r >= a + b
+        col_hi = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        src = (src << 1) | row_hi
+        dst = (dst << 1) | col_hi
+    edges = np.column_stack((src, dst))
+    return from_edge_array(edges, num_vertices=n)

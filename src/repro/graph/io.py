@@ -1,0 +1,164 @@
+"""Graph serialization: whitespace edge lists (SNAP style) and ``.npz``.
+
+The paper's inputs are SNAP/Konect edge-list files; this module reads the
+same format (``#`` and ``%`` comment lines, one ``u v`` pair per line)
+and also provides a fast binary ``.npz`` round-trip for the synthetic
+suite.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_edge_list(
+    source: str | os.PathLike[str] | TextIO,
+    num_vertices: int | None = None,
+) -> CSRGraph:
+    """Read a whitespace edge list into an undirected :class:`CSRGraph`.
+
+    Lines starting with ``#`` or ``%`` and blank lines are skipped.
+    Each remaining line must contain at least two integer fields; extra
+    fields (weights, timestamps) are ignored, matching how the paper's
+    unweighted evaluation treats Konect files.
+    """
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    pairs: list[tuple[int, int]] = []
+    for lineno, line in enumerate(io.StringIO(text), start=1):
+        line = line.strip()
+        if not line or line[0] in "#%":
+            continue
+        fields = line.split()
+        if len(fields) < 2:
+            raise GraphFormatError(
+                f"line {lineno}: expected 'u v', got {line!r}"
+            )
+        try:
+            u, v = int(fields[0]), int(fields[1])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {lineno}: non-integer vertex id in {line!r}"
+            ) from exc
+        pairs.append((u, v))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, num_vertices)
+
+
+def write_edge_list(g: CSRGraph, path: str | os.PathLike[str]) -> None:
+    """Write a graph as a whitespace edge list (one row per undirected
+    edge, ``u < v``)."""
+    edges = g.edge_array()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro edge list |V|={g.num_vertices} |E|={g.num_edges}\n")
+        np.savetxt(fh, edges, fmt="%d")
+
+
+def save_npz(g: CSRGraph, path: str | os.PathLike[str]) -> None:
+    """Save a graph (undirected or DAG) to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        indptr=g.indptr,
+        indices=g.indices,
+        directed=np.array(g.directed),
+    )
+
+
+def load_npz(path: str | os.PathLike[str]) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        try:
+            return CSRGraph(
+                data["indptr"],
+                data["indices"],
+                directed=bool(data["directed"]),
+                validate=False,
+            )
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing array {exc}") from exc
+
+
+def write_metis(g: CSRGraph, path: str | os.PathLike[str]) -> None:
+    """Write an undirected graph in METIS format.
+
+    METIS is 1-indexed: the header line is ``n m`` and line ``i`` lists
+    the neighbors of vertex ``i - 1``.
+    """
+    if g.directed:
+        raise GraphFormatError("METIS format stores undirected graphs")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{g.num_vertices} {g.num_edges}\n")
+        for u in range(g.num_vertices):
+            fh.write(" ".join(str(int(v) + 1) for v in g.neighbors(u)))
+            fh.write("\n")
+
+
+def read_metis(source: str | os.PathLike[str] | TextIO) -> CSRGraph:
+    """Read a METIS graph file (plain, unweighted format).
+
+    Comment lines start with ``%``.  The header's edge count is
+    validated against the adjacency lines.
+    """
+    if hasattr(source, "read"):
+        text = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    lines = [
+        ln for ln in (raw.strip() for raw in text.splitlines())
+        if ln and not ln.startswith("%")
+    ]
+    if not lines:
+        raise GraphFormatError("empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError("METIS header must be 'n m [fmt]'")
+    try:
+        n, m = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphFormatError("non-integer METIS header") from exc
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"METIS file has {len(lines) - 1} adjacency lines, header says {n}"
+        )
+    pairs: list[tuple[int, int]] = []
+    for u, line in enumerate(lines[1:]):
+        for field in line.split():
+            try:
+                v = int(field) - 1
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"vertex {u}: non-integer neighbor {field!r}"
+                ) from exc
+            if not 0 <= v < n:
+                raise GraphFormatError(
+                    f"vertex {u}: neighbor {v + 1} out of range 1..{n}"
+                )
+            pairs.append((u, v))
+    arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+    g = from_edge_array(arr, num_vertices=n)
+    if g.num_edges != m:
+        raise GraphFormatError(
+            f"METIS header claims {m} edges, adjacency encodes {g.num_edges}"
+        )
+    return g

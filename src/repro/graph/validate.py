@@ -1,0 +1,100 @@
+"""Graph health report: invariants, structure summary, counting outlook.
+
+``validate_graph`` packages the checks a user should run before feeding
+a new dataset to the counting engines: CSR invariants (revalidated),
+connectivity, degeneracy, degree skew, and the Sec. III-E heuristic
+inputs — plus a coarse feasibility estimate for exact counting (the
+degeneracy bounds the per-root subgraph size and hence the bitset
+width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import assortativity, heuristic_inputs
+from repro.graph.traversal import connected_components
+from repro.ordering.core import core_numbers
+
+__all__ = ["GraphReport", "validate_graph"]
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Summary statistics with human-readable warnings."""
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    degeneracy: int
+    num_components: int
+    largest_component_fraction: float
+    isolated_vertices: int
+    assortativity: float
+    hub_common_fraction: float
+    warnings: tuple[str, ...]
+
+    def summary(self) -> str:
+        lines = [
+            f"|V| = {self.num_vertices:,}, |E| = {self.num_edges:,}, "
+            f"avg degree {self.average_degree:.2f}, "
+            f"max degree {self.max_degree:,}",
+            f"degeneracy {self.degeneracy} "
+            f"(per-root subgraphs are at most this large)",
+            f"components: {self.num_components} "
+            f"(largest holds {self.largest_component_fraction:.0%}; "
+            f"{self.isolated_vertices} isolated vertices)",
+            f"assortativity r = {self.assortativity:+.3f}, "
+            f"hub common-neighbor fraction "
+            f"{self.hub_common_fraction:.2f}",
+        ]
+        for w in self.warnings:
+            lines.append(f"warning: {w}")
+        return "\n".join(lines)
+
+
+def validate_graph(g: CSRGraph) -> GraphReport:
+    """Revalidate invariants and profile ``g`` for clique counting."""
+    # Re-run the structural validation (builders skip it on fast paths).
+    CSRGraph(g.indptr, g.indices, directed=g.directed, validate=True)
+    n = g.num_vertices
+    warnings: list[str] = []
+    if n == 0:
+        return GraphReport(0, 0, 0.0, 0, 0, 0, 0.0, 0, 0.0, 0.0, ())
+    labels = connected_components(g)
+    counts = np.bincount(labels)
+    isolated = int((g.degrees == 0).sum())
+    degeneracy = int(core_numbers(g).max()) if g.num_edges else 0
+    hi = heuristic_inputs(g)
+    if degeneracy > 512:
+        warnings.append(
+            f"degeneracy {degeneracy} is large; per-root bitsets exceed "
+            "512 bits and counting may be slow in pure Python"
+        )
+    if counts.size > 1 and counts.max() < 0.5 * n:
+        warnings.append(
+            "no dominant connected component; consider analyzing "
+            "components separately (repro.graph.traversal)"
+        )
+    if isolated > 0.2 * n:
+        warnings.append(
+            f"{isolated} isolated vertices ({isolated / n:.0%}) "
+            "contribute nothing beyond k = 1"
+        )
+    return GraphReport(
+        num_vertices=n,
+        num_edges=g.num_edges,
+        average_degree=g.average_degree,
+        max_degree=g.max_degree,
+        degeneracy=degeneracy,
+        num_components=int(counts.size),
+        largest_component_fraction=float(counts.max() / n),
+        isolated_vertices=isolated,
+        assortativity=assortativity(g),
+        hub_common_fraction=hi.common_fraction,
+        warnings=tuple(warnings),
+    )

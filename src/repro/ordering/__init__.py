@@ -1,0 +1,46 @@
+"""The ordering phase (paper Sec. III).
+
+Every ordering produces a total order ``omega`` over the vertices; the
+DAG keeps edge ``u -> v`` iff ``omega(u) < omega(v)``.  Quality is
+measured by the DAG's maximum out-degree (lower = less counting work);
+the exact core/degeneracy ordering is provably optimal on that metric
+but sequential, which is the tension this paper resolves.
+"""
+
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+from repro.ordering.degree import degree_ordering
+from repro.ordering.core import core_ordering, core_numbers
+from repro.ordering.approx_core import approx_core_ordering
+from repro.ordering.kcore import kcore_ordering
+from repro.ordering.centrality import centrality_ordering
+from repro.ordering.directionalize import directionalize, max_out_degree
+from repro.ordering.arborder import (
+    barenboim_elkin_ordering,
+    goodrich_pszona_ordering,
+)
+from repro.ordering.heuristic import (
+    HeuristicConfig,
+    OrderingChoice,
+    select_ordering,
+    compute_ordering,
+)
+
+__all__ = [
+    "Ordering",
+    "ParallelCost",
+    "rank_from_keys",
+    "degree_ordering",
+    "core_ordering",
+    "core_numbers",
+    "approx_core_ordering",
+    "kcore_ordering",
+    "centrality_ordering",
+    "barenboim_elkin_ordering",
+    "goodrich_pszona_ordering",
+    "directionalize",
+    "max_out_degree",
+    "HeuristicConfig",
+    "OrderingChoice",
+    "select_ordering",
+    "compute_ordering",
+]

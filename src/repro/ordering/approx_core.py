@@ -1,0 +1,86 @@
+"""Parallel core-ordering approximation — paper Algorithm 2.
+
+Instead of peeling one minimum-degree vertex at a time, each round
+removes *all* vertices whose current degree is below ``(1 + eps) *
+delta`` where ``delta`` is the average degree of the remaining graph
+(the Besta et al. ADG idea the paper adapts from graph coloring).  Every
+vertex removed in the same round shares a level; the total order
+tiebreaks by original degree then vertex id (paper Sec. III-A).
+
+``eps`` trades ordering quality for parallelism:
+
+* ``eps = -0.5`` (paper's pick): many rounds (they report 160-6033) but
+  a maximum out-degree that matches the exact core ordering,
+* ``eps = 0.1`` (Besta et al.'s pick for coloring): 8-15 rounds,
+* ``eps`` huge (50 000): one round — every vertex removed immediately —
+  which reduces to the degree ordering.
+
+Edge case not covered by the paper's pseudocode: for small enough
+``eps`` the threshold can select *no* vertex (e.g. a regular graph needs
+``deg < (1 + eps) * deg``, false for ``eps <= 0``).  We then fall back
+to removing every vertex of current minimum degree, which keeps the
+round count finite and still approximates the exact peel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+
+__all__ = ["approx_core_ordering"]
+
+
+def approx_core_ordering(g: CSRGraph, eps: float = -0.5) -> Ordering:
+    """Compute the Algorithm 2 approximation with parameter ``eps``.
+
+    Returns an :class:`Ordering` whose ``levels`` array holds the
+    removal round of each vertex and whose cost profile has one entry
+    per round (work = vertices scanned + adjacency entries of removed
+    vertices), feeding the Fig. 6 ordering-time model.
+    """
+    if eps <= -1.0:
+        raise OrderingError("eps must be > -1 (threshold must stay positive)")
+    n = g.num_vertices
+    indptr, indices = g.indptr, g.indices
+    deg = g.degrees.astype(np.float64).copy()
+    alive = np.ones(n, dtype=bool)
+    level = np.zeros(n, dtype=np.int64)
+    rounds: list[float] = []
+    current = 0
+    remaining = n
+    while remaining > 0:
+        alive_deg = deg[alive]
+        delta = alive_deg.sum() / remaining
+        threshold = (1.0 + eps) * delta
+        select = alive & (deg < threshold)
+        if not select.any():
+            # Fallback: bulk-remove the minimum-degree class.
+            select = alive & (deg == alive_deg.min())
+        level[select] = current
+        removed = np.flatnonzero(select)
+        # Degree updates: every neighbor of a removed vertex loses one.
+        # Dead neighbors get decremented too, harmlessly — their degree
+        # is never read again.
+        touched = np.concatenate(
+            [indices[indptr[v] : indptr[v + 1]] for v in removed]
+        ) if removed.size else np.empty(0, dtype=np.int64)
+        if touched.size:
+            deg -= np.bincount(touched, minlength=n)
+        alive &= ~select
+        remaining -= removed.size
+        # Parallel work this round: one threshold test per remaining
+        # vertex plus one decrement per touched adjacency entry.
+        rounds.append(float(remaining + removed.size + touched.size))
+        current += 1
+        if current > 4 * n + 8:  # pragma: no cover - safety net
+            raise OrderingError("approx core failed to converge")
+    rank = rank_from_keys(level, g.degrees)
+    return Ordering(
+        name=f"approx_core(eps={eps:g})",
+        rank=rank,
+        cost=ParallelCost(rounds=tuple(rounds)),
+        levels=level,
+    )

@@ -1,0 +1,107 @@
+"""Arboricity-based parallel orderings: Barenboim-Elkin and
+Goodrich-Pszona.
+
+Arb-Count (the paper's enumeration baseline) implements these two
+low-out-degree orientations alongside core and degree orderings, so a
+complete comparison suite needs them.  Both are bulk-peeling schemes
+like Algorithm 2, differing in the removal rule:
+
+* **Barenboim-Elkin [42]** — each round removes every vertex whose
+  current degree is at most ``(2 + eps)`` times the *current
+  arboricity estimate* ``|E| / |V|`` (half the average degree);
+  guarantees out-degree ``O(arboricity)`` in ``O(log n)`` rounds.
+* **Goodrich-Pszona [43]** — each round removes the
+  ``ceil(eps / (1 + eps) * |V|)`` *lowest-degree* vertices (a fixed
+  fraction), designed for external memory; also ``O(log n)`` rounds
+  with out-degree ``O(arboricity)``.
+
+Both reuse the (level, original degree, id) tiebreak of the core
+approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+
+__all__ = ["barenboim_elkin_ordering", "goodrich_pszona_ordering"]
+
+
+def _bulk_peel(
+    g: CSRGraph,
+    select_round,
+    name: str,
+) -> Ordering:
+    """Shared round-synchronous peel driver.
+
+    ``select_round(deg, alive, remaining)`` returns the boolean mask of
+    vertices to remove this round (must be non-empty for alive sets).
+    """
+    n = g.num_vertices
+    indptr, indices = g.indptr, g.indices
+    deg = g.degrees.astype(np.float64).copy()
+    alive = np.ones(n, dtype=bool)
+    level = np.zeros(n, dtype=np.int64)
+    rounds: list[float] = []
+    current = 0
+    remaining = n
+    while remaining > 0:
+        select = select_round(deg, alive, remaining)
+        if not select.any():
+            alive_deg = deg[alive]
+            select = alive & (deg == alive_deg.min())
+        level[select] = current
+        removed = np.flatnonzero(select)
+        touched = np.concatenate(
+            [indices[indptr[v] : indptr[v + 1]] for v in removed]
+        ) if removed.size else np.empty(0, dtype=np.int64)
+        if touched.size:
+            deg -= np.bincount(touched, minlength=n)
+        alive &= ~select
+        remaining -= removed.size
+        rounds.append(float(remaining + removed.size + touched.size))
+        current += 1
+        if current > 4 * n + 8:  # pragma: no cover - safety net
+            raise OrderingError(f"{name} failed to converge")
+    rank = rank_from_keys(level, g.degrees)
+    return Ordering(
+        name=name,
+        rank=rank,
+        cost=ParallelCost(rounds=tuple(rounds)),
+        levels=level,
+    )
+
+
+def barenboim_elkin_ordering(g: CSRGraph, eps: float = 0.1) -> Ordering:
+    """Barenboim-Elkin orientation: peel vertices with degree at most
+    ``(2 + eps) x (current |E| / |V|)`` per round."""
+    if eps < 0:
+        raise OrderingError("eps must be >= 0")
+
+    def select(deg: np.ndarray, alive: np.ndarray, remaining: int):
+        # |E|/|V| of the remaining graph = half the average degree.
+        arb = deg[alive].sum() / (2.0 * remaining)
+        return alive & (deg <= (2.0 + eps) * arb)
+
+    return _bulk_peel(g, select, f"barenboim_elkin(eps={eps:g})")
+
+
+def goodrich_pszona_ordering(g: CSRGraph, eps: float = 0.5) -> Ordering:
+    """Goodrich-Pszona orientation: peel the ``eps / (1 + eps)``
+    lowest-degree fraction per round."""
+    if eps <= 0:
+        raise OrderingError("eps must be > 0")
+    frac = eps / (1.0 + eps)
+
+    def select(deg: np.ndarray, alive: np.ndarray, remaining: int):
+        take = max(1, int(np.ceil(frac * remaining)))
+        alive_idx = np.flatnonzero(alive)
+        order = alive_idx[np.argsort(deg[alive_idx], kind="stable")]
+        mask = np.zeros(deg.size, dtype=bool)
+        mask[order[:take]] = True
+        return mask
+
+    return _bulk_peel(g, select, f"goodrich_pszona(eps={eps:g})")

@@ -1,0 +1,110 @@
+"""Shared ordering types.
+
+An :class:`Ordering` couples the total order (a rank permutation) with a
+:class:`ParallelCost` describing how the ordering was computed — the
+per-round parallel work and any inherently sequential work — which the
+machine model (:mod:`repro.parallel`) turns into modeled ordering-phase
+times (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OrderingError
+
+__all__ = ["ParallelCost", "Ordering", "rank_from_keys"]
+
+
+@dataclass(frozen=True)
+class ParallelCost:
+    """Abstract work profile of a phase.
+
+    Attributes
+    ----------
+    rounds:
+        Work units per parallel round; each round is divided across
+        threads and followed by a barrier.  An ordering with many small
+        rounds (approx core, low eps) scales worse than one big round
+        (degree ordering) — exactly the paper's Fig. 6 tension.
+    sequential:
+        Work units that cannot be parallelized (the exact core
+        ordering's peel loop).
+    """
+
+    rounds: tuple[float, ...] = ()
+    sequential: float = 0.0
+
+    @property
+    def total_work(self) -> float:
+        """Total work units across rounds plus sequential work."""
+        return float(sum(self.rounds)) + self.sequential
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+
+@dataclass(frozen=True)
+class Ordering:
+    """A total vertex order produced by an ordering algorithm.
+
+    Attributes
+    ----------
+    name:
+        Algorithm identifier (``"core"``, ``"degree"``,
+        ``"approx_core(eps=-0.5)"``, ...).
+    rank:
+        Permutation array: ``rank[u]`` is u's position in the total
+        order.  Directionalization keeps ``u -> v`` iff
+        ``rank[u] < rank[v]``.
+    cost:
+        Work profile for the machine model.
+    levels:
+        Optional per-vertex coarse level (peel round, core number,
+        centrality bucket) before tiebreaking; useful for analysis.
+    """
+
+    name: str
+    rank: np.ndarray
+    cost: ParallelCost = field(default_factory=ParallelCost)
+    levels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        rank = np.asarray(self.rank, dtype=np.int64)
+        object.__setattr__(self, "rank", rank)
+        n = rank.size
+        if n and (np.sort(rank) != np.arange(n)).any():
+            raise OrderingError(f"{self.name}: rank is not a permutation of 0..n-1")
+        self.rank.setflags(write=False)
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.rank.size)
+
+    def order(self) -> np.ndarray:
+        """Vertices listed lowest rank first (the peel order)."""
+        return np.argsort(self.rank, kind="stable")
+
+
+def rank_from_keys(*keys: np.ndarray) -> np.ndarray:
+    """Build a rank permutation from sort keys, least significant last.
+
+    ``rank_from_keys(primary, tie1, tie2)`` sorts ascending by
+    ``primary``, breaking ties by ``tie1`` then ``tie2`` then vertex id
+    (ids are appended automatically, guaranteeing a total order).
+    """
+    if not keys:
+        raise OrderingError("at least one sort key required")
+    n = keys[0].shape[0]
+    for k in keys:
+        if k.shape != (n,):
+            raise OrderingError("all sort keys must be 1-D of equal length")
+    ids = np.arange(n, dtype=np.int64)
+    # np.lexsort sorts by the LAST key as primary.
+    order = np.lexsort((ids,) + tuple(reversed(keys)))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    return rank

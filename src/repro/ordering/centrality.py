@@ -1,0 +1,58 @@
+"""Eigenvector-centrality ordering (paper Sec. III-C, novel).
+
+The paper observes that the core ordering effectively ranks vertices by
+*importance* — the degrees of their neighbors matter, not just their
+own — and proposes ranking by eigenvector centrality computed with just
+a few power iterations (3 by default).  Unlike PageRank no per-step
+normalization of scores against out-degrees is needed; we rescale by
+the maximum purely to avoid float overflow, which preserves the ranks.
+
+Quality lands between core and degree (Fig. 5); it is never the overall
+winner but never the loser either (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OrderingError
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+
+__all__ = ["centrality_ordering", "eigenvector_scores"]
+
+
+def eigenvector_scores(g: CSRGraph, iterations: int = 3) -> np.ndarray:
+    """Power-iteration eigenvector-centrality scores.
+
+    Each iteration replaces every score with the sum of its neighbors'
+    scores (one sparse matrix-vector product), computed via a cumulative
+    sum over the CSR adjacency so empty rows are handled exactly.
+    """
+    if iterations < 1:
+        raise OrderingError("iterations must be >= 1")
+    n = g.num_vertices
+    x = np.ones(n, dtype=np.float64)
+    for _ in range(iterations):
+        gathered = x[g.indices]
+        cs = np.concatenate(([0.0], np.cumsum(gathered)))
+        x = cs[g.indptr[1:]] - cs[g.indptr[:-1]]
+        peak = x.max() if n else 0.0
+        if peak > 0:
+            x /= peak
+    return x
+
+
+def centrality_ordering(g: CSRGraph, iterations: int = 3) -> Ordering:
+    """Rank vertices ascending by ``(centrality, degree, id)``.
+
+    Low-importance vertices come first so edges point toward important
+    vertices — the same direction the core ordering induces.
+    """
+    scores = eigenvector_scores(g, iterations)
+    rank = rank_from_keys(scores, g.degrees)
+    # One parallel round per iteration, each touching every adjacency
+    # entry once (an SpMV), plus a final O(n) sort round.
+    per_round = float(g.num_directed_edges + g.num_vertices)
+    cost = ParallelCost(rounds=tuple([per_round] * iterations + [float(g.num_vertices)]))
+    return Ordering(name="centrality", rank=rank, cost=cost, levels=None)

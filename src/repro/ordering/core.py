@@ -1,0 +1,93 @@
+"""Exact core (degeneracy) ordering — Matula-Beck smallest-last peeling.
+
+This is the ordering Pivoter uses: repeatedly remove the minimum-degree
+vertex.  It guarantees the minimum possible maximum out-degree (the
+degeneracy) after directionalization, but the peel is inherently
+sequential (paper Sec. II-A, citing Matula & Beck), which caps the
+ordering phase at single-thread speed — the bottleneck PivotScale's
+approximation removes.
+
+Implementation: the classic O(n + m) bucket-queue (Batagelj-Zaversnik)
+algorithm over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering, ParallelCost
+
+__all__ = ["core_ordering", "core_numbers"]
+
+
+def _peel(g: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Run smallest-last peeling; return (peel_order, core_numbers)."""
+    n = g.num_vertices
+    deg = g.degrees.copy()
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    md = int(deg.max())
+    # Bucket-sorted vertex array: pos[v] is v's slot in `vert`, which is
+    # kept partitioned by current degree with bucket starts in `bin_`.
+    bin_ = np.zeros(md + 2, dtype=np.int64)
+    counts = np.bincount(deg, minlength=md + 1)
+    np.cumsum(counts, out=bin_[1:])
+    start = bin_[:-1].copy()
+    vert = np.empty(n, dtype=np.int64)
+    pos = np.empty(n, dtype=np.int64)
+    cursor = start.copy()
+    for v in range(n):
+        d = deg[v]
+        vert[cursor[d]] = v
+        pos[v] = cursor[d]
+        cursor[d] += 1
+
+    indptr, indices = g.indptr, g.indices
+    core = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        v = vert[i]
+        core[v] = deg[v]
+        for v_nbr in indices[indptr[v] : indptr[v + 1]]:
+            u = int(v_nbr)
+            du = deg[u]
+            if du > deg[v]:
+                # Swap u with the first vertex of its degree bucket, then
+                # shrink the bucket boundary: u's degree drops by one.
+                pu, pw = pos[u], start[du]
+                w = vert[pw]
+                if u != w:
+                    vert[pu], vert[pw] = w, u
+                    pos[u], pos[w] = pw, pu
+                start[du] += 1
+                deg[u] = du - 1
+        # Keep later buckets' starts consistent when a bucket empties.
+        # (start[] only moves forward; deg[v] entries below i are final.)
+    return vert, core
+
+
+def core_ordering(g: CSRGraph) -> Ordering:
+    """Exact degeneracy ordering; rank = peel position.
+
+    The cost profile is entirely sequential: ``n + 2m`` work units (one
+    pop per vertex, one degree decrement per directed edge), matching
+    the paper's use of a 1-thread core ordering in Table III.
+    """
+    order, core = _peel(g)
+    n = g.num_vertices
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n, dtype=np.int64)
+    cost = ParallelCost(sequential=float(n + g.num_directed_edges))
+    return Ordering(name="core", rank=rank, cost=cost, levels=core)
+
+
+def core_numbers(g: CSRGraph) -> np.ndarray:
+    """Per-vertex core number (the largest k such that the vertex
+    belongs to a k-core); max value is the graph's degeneracy.
+
+    In the Batagelj-Zaversnik peel, a vertex's degree is never
+    decremented below the degree of the vertex being removed, so the
+    recorded removal degrees are exactly the core numbers.
+    """
+    _, core = _peel(g)
+    return core

@@ -1,0 +1,71 @@
+"""Parallel k-core-decomposition ordering (paper Sec. III-B).
+
+A k-core decomposition assigns each vertex its core number.  Parallel
+algorithms (ParK, PKC) compute it with level-synchronous peeling: for
+``k = 0, 1, 2, ...`` repeatedly remove every remaining vertex of degree
+``<= k`` until none remain at that level, then advance ``k``.  The
+ordering directs edges from lower to higher core number, tiebreaking by
+degree then id — the same tiebreak as the core approximation.
+
+Compared with :func:`repro.ordering.approx_core.approx_core_ordering`
+at low ``eps``, this produces *fewer distinct levels* (one per core
+number instead of one per round), hence the consistently slightly worse
+quality the paper observes in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+
+__all__ = ["kcore_ordering", "kcore_decomposition"]
+
+
+def kcore_decomposition(g: CSRGraph) -> tuple[np.ndarray, list[float]]:
+    """Level-synchronous (ParK/PKC-style) k-core decomposition.
+
+    Returns ``(core_numbers, round_work)`` where ``round_work`` logs the
+    parallel work of every sub-round (scan + degree updates) for the
+    ordering-time model.
+    """
+    n = g.num_vertices
+    indptr, indices = g.indptr, g.indices
+    deg = g.degrees.astype(np.int64).copy()
+    alive = np.ones(n, dtype=bool)
+    core = np.zeros(n, dtype=np.int64)
+    rounds: list[float] = []
+    remaining = n
+    k = 0
+    while remaining > 0:
+        progressed = True
+        while progressed:
+            frontier = np.flatnonzero(alive & (deg <= k))
+            progressed = frontier.size > 0
+            if not progressed:
+                rounds.append(float(remaining))  # the scan that found nothing
+                break
+            core[frontier] = k
+            alive[frontier] = False
+            remaining -= frontier.size
+            touched = np.concatenate(
+                [indices[indptr[v] : indptr[v + 1]] for v in frontier]
+            )
+            if touched.size:
+                deg -= np.bincount(touched, minlength=n)
+            rounds.append(float(remaining + frontier.size + touched.size))
+        k += 1
+    return core, rounds
+
+
+def kcore_ordering(g: CSRGraph) -> Ordering:
+    """Rank vertices ascending by ``(core number, degree, id)``."""
+    core, rounds = kcore_decomposition(g)
+    rank = rank_from_keys(core, g.degrees)
+    return Ordering(
+        name="kcore",
+        rank=rank,
+        cost=ParallelCost(rounds=tuple(rounds)),
+        levels=core,
+    )

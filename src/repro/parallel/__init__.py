@@ -1,0 +1,53 @@
+"""Parallel substrate: machine models, schedulers, simulated execution,
+and a real process-based executor.
+
+The paper's platform is a 64-core AMD EPYC 9554.  CPython's GIL (and
+this container's single core) make real thread scaling unreproducible,
+so scaling experiments run on a *deterministic machine model*: the real
+counting run produces exact per-root work and memory measurements
+(:class:`repro.counting.counters.Counters`), a scheduler distributes
+those tasks over modeled threads, and :mod:`repro.perfmodel` converts
+work + cache pressure into modeled seconds.  A `multiprocessing`-based
+executor (:mod:`repro.parallel.pool`) provides honest process
+parallelism for real deployments.
+"""
+
+from repro.parallel.machine import (
+    MachineSpec,
+    EPYC_9554,
+    GPU_V100,
+    GPU_A100,
+    GPUSpec,
+)
+from repro.parallel.sched import (
+    Scheduler,
+    StaticScheduler,
+    DynamicScheduler,
+    CyclicScheduler,
+    Assignment,
+)
+from repro.parallel.simulate import (
+    PhaseTime,
+    simulate_counting,
+    simulate_ordering,
+    scaling_curve,
+)
+from repro.parallel.pool import count_kcliques_processes
+
+__all__ = [
+    "MachineSpec",
+    "EPYC_9554",
+    "GPU_V100",
+    "GPU_A100",
+    "GPUSpec",
+    "Scheduler",
+    "StaticScheduler",
+    "DynamicScheduler",
+    "CyclicScheduler",
+    "Assignment",
+    "PhaseTime",
+    "simulate_counting",
+    "simulate_ordering",
+    "scaling_curve",
+    "count_kcliques_processes",
+]

@@ -1,0 +1,108 @@
+"""Machine specifications for the performance model.
+
+:data:`EPYC_9554` mirrors the paper's evaluation platform (Sec. VI-A):
+a single-socket 64 x 3.1 GHz part with 256 MB of shared L3.  The GPU
+specs carry the throughput knobs of the GPU-Pivot model
+(:mod:`repro.perfmodel.gpu`); absolute rates are calibration constants,
+the *ratios* (A100 vs V100, GPU vs CPU) are what the Fig. 12/13
+comparisons exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParallelModelError
+
+__all__ = ["MachineSpec", "GPUSpec", "EPYC_9554", "GPU_V100", "GPU_A100"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A multicore CPU for the simulated executor.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    cores:
+        Physical cores (the paper uses threads == cores).
+    freq_ghz:
+        Core clock.
+    llc_bytes:
+        Shared last-level-cache capacity.
+    base_cpi:
+        Cycles per (modeled) instruction when the working set is
+        cache-resident.
+    miss_penalty_cycles:
+        Extra cycles charged per LLC miss, *after* memory-level
+        parallelism: out-of-order cores overlap ~8 outstanding misses,
+        so the effective per-miss stall is DRAM latency / MLP.
+    dram_bw_bytes:
+        Sustained DRAM bandwidth; the roofline ceiling that causes the
+        dense structure's scaling plateau once per-thread indexes spill
+        out of the LLC.
+    instructions_per_work:
+        Modeled instructions per abstract work unit (bitset word /
+        weighted lookup) of :class:`repro.counting.counters.Counters`.
+    barrier_seconds:
+        Cost of one parallel-round barrier (synchronization between
+        the approx-core ordering's rounds).
+    """
+
+    name: str
+    cores: int = 64
+    freq_ghz: float = 3.1
+    llc_bytes: int = 256 * 1024 * 1024
+    base_cpi: float = 0.5
+    miss_penalty_cycles: float = 20.0
+    dram_bw_bytes: float = 400e9
+    instructions_per_work: float = 10.0
+    barrier_seconds: float = 4.0e-6
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ParallelModelError("cores must be >= 1")
+        if self.freq_ghz <= 0 or self.llc_bytes <= 0:
+            raise ParallelModelError("freq and LLC must be positive")
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.freq_ghz * 1e9
+
+    def seconds_for(self, instructions: float, cpi: float) -> float:
+        """Wall seconds for an instruction stream at a given CPI."""
+        return instructions * cpi / self.cycles_per_second
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU for the GPU-Pivot model (paper reference [20]).
+
+    ``warps`` is the number of concurrently resident warps doing useful
+    work; GPU-Pivot builds one subgraph per warp, so warps — not CUDA
+    cores — set its effective parallelism.  ``warp_rate_gops`` is one
+    warp's set-operation throughput in modeled work units per second.
+    """
+
+    name: str
+    warps: int
+    warp_rate_gops: float
+    rebuild_factor: float = 2.4
+    launch_overhead_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.warps < 1 or self.warp_rate_gops <= 0:
+            raise ParallelModelError("invalid GPU spec")
+
+
+#: The paper's CPU platform (Sec. VI-A).
+EPYC_9554 = MachineSpec(name="AMD EPYC 9554 (Genoa)")
+
+#: NVIDIA Volta V100 as used by GPU-Pivot's reported numbers.  ``warps``
+#: is the *effectively active* warp count — GPU-Pivot's one-subgraph-
+#: per-warp design keeps utilization far below residency (Sec. II-C).
+GPU_V100 = GPUSpec(name="NVIDIA V100", warps=40, warp_rate_gops=0.1)
+
+#: NVIDIA Ampere A100: ~1.3x the V100's effective throughput.
+GPU_A100 = GPUSpec(name="NVIDIA A100", warps=48, warp_rate_gops=0.115)

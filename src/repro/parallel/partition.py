@@ -1,0 +1,92 @@
+"""Task decomposition: vertex-parallel vs edge-parallel splitting.
+
+PivotScale is vertex-parallel (one task per root), which is near-ideal
+when work spreads across many roots — but a single pathological root
+(e.g. the community-collision pocket of the LiveJournal analog) can
+hold a large fraction of the total work and bound the makespan.
+GPU-Pivot's answer is to assign "a vertex or an edge" to a warp
+(Sec. II-C): a heavy root splits into one task per out-edge, each
+covering one first-level branch of its SCT tree.
+
+This module implements that split for the simulated executor: tasks
+whose work exceeds a threshold are divided into ``out-degree`` equal
+shares (the per-branch costs are not measured individually, so equal
+shares are the neutral model).  The result plugs into any scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParallelModelError
+
+__all__ = ["PartitionedTasks", "vertex_tasks", "edge_split_tasks"]
+
+
+@dataclass(frozen=True)
+class PartitionedTasks:
+    """A task list plus provenance (which root each task came from)."""
+
+    work: np.ndarray
+    root_of: np.ndarray
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.work.size)
+
+    @property
+    def max_task_fraction(self) -> float:
+        total = float(self.work.sum())
+        return float(self.work.max()) / total if total else 0.0
+
+
+def vertex_tasks(per_root_work: np.ndarray) -> PartitionedTasks:
+    """The identity decomposition: one task per root vertex."""
+    work = np.asarray(per_root_work, dtype=np.float64)
+    return PartitionedTasks(
+        work=work, root_of=np.arange(work.size, dtype=np.int64)
+    )
+
+
+def edge_split_tasks(
+    per_root_work: np.ndarray,
+    out_degrees: np.ndarray,
+    *,
+    threshold_fraction: float = 0.01,
+) -> PartitionedTasks:
+    """Split heavy roots into per-edge tasks.
+
+    Parameters
+    ----------
+    per_root_work:
+        Measured work per root (from a counting run).
+    out_degrees:
+        DAG out-degree per root — the number of first-level branches a
+        root can split into.
+    threshold_fraction:
+        Roots holding more than this fraction of total work are split.
+    """
+    work = np.asarray(per_root_work, dtype=np.float64)
+    degs = np.asarray(out_degrees, dtype=np.int64)
+    if work.shape != degs.shape:
+        raise ParallelModelError("work and out_degrees must align")
+    if not 0.0 < threshold_fraction <= 1.0:
+        raise ParallelModelError("threshold_fraction must lie in (0, 1]")
+    total = float(work.sum())
+    if total == 0.0:
+        return vertex_tasks(work)
+    limit = threshold_fraction * total
+    out_work: list[float] = []
+    out_root: list[int] = []
+    for v in range(work.size):
+        w = float(work[v])
+        pieces = int(degs[v]) if (w > limit and degs[v] > 1) else 1
+        share = w / pieces
+        out_work.extend([share] * pieces)
+        out_root.extend([v] * pieces)
+    return PartitionedTasks(
+        work=np.array(out_work, dtype=np.float64),
+        root_of=np.array(out_root, dtype=np.int64),
+    )

@@ -1,0 +1,122 @@
+"""Simulated parallel execution of the counting and ordering phases.
+
+Ties together the real measurements (per-root work from
+:class:`~repro.counting.sct.CountResult`, per-round work from
+:class:`~repro.ordering.base.ParallelCost`), a scheduler
+(:mod:`repro.parallel.sched`), and the cost model
+(:mod:`repro.perfmodel.cost`) into modeled phase times and scaling
+curves — the machinery behind Figs. 6-8, 10-13 and Tables III/V/VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counting.sct import CountResult
+from repro.ordering.base import ParallelCost
+from repro.parallel.machine import EPYC_9554, MachineSpec
+from repro.parallel.sched import Assignment, DynamicScheduler, Scheduler
+from repro.perfmodel.cost import CostModel, PerfEstimate
+
+__all__ = ["PhaseTime", "simulate_counting", "simulate_ordering", "scaling_curve"]
+
+
+@dataclass(frozen=True)
+class PhaseTime:
+    """Modeled execution of one phase.
+
+    ``seconds`` is the headline number; the perf estimate and scheduler
+    assignment expose the why (roofline term, MPKI, load balance CV).
+    """
+
+    seconds: float
+    estimate: PerfEstimate
+    assignment: Assignment | None = None
+
+    @property
+    def cv(self) -> float:
+        """Thread-load coefficient of variation (0 when irrelevant)."""
+        return self.assignment.cv if self.assignment is not None else 0.0
+
+
+def simulate_counting(
+    result: CountResult,
+    *,
+    threads: int,
+    machine: MachineSpec = EPYC_9554,
+    scheduler: Scheduler | None = None,
+    effective_num_vertices: float | None = None,
+    max_out_degree: float | None = None,
+    serial_fraction: float = 0.0,
+    work_scale: float = 1.0,
+) -> PhaseTime:
+    """Model the counting phase of a completed (real) counting run.
+
+    Parameters
+    ----------
+    result:
+        Exact run with per-root work measurements.
+    effective_num_vertices:
+        Paper-scale ``|V|`` for the dense-index footprint; defaults to
+        the run's own vertex count.
+    max_out_degree:
+        DAG max out-degree; defaults to the largest per-root subgraph
+        inferred from the run.
+    serial_fraction:
+        Amdahl fraction for naive-parallel baselines (Pivoter).
+    work_scale:
+        Linear extrapolation factor for scaled-down dataset analogs
+        (see :meth:`repro.perfmodel.cost.CostModel.estimate_counting`).
+    """
+    sched = scheduler or DynamicScheduler()
+    assignment = sched.assign(result.per_root_work, threads)
+    n = result.per_root_work.size
+    eff_nv = float(n if effective_num_vertices is None else effective_num_vertices)
+    if max_out_degree is None:
+        # Infer d_max from the largest bitset footprint if available.
+        max_out_degree = _infer_max_degree(result)
+    est = CostModel(machine).estimate_counting(
+        result.counters,
+        threads=threads,
+        structure=result.structure,
+        max_out_degree=float(max_out_degree),
+        effective_num_vertices=eff_nv,
+        makespan_work=assignment.makespan,
+        serial_fraction=serial_fraction,
+        work_scale=work_scale,
+    )
+    return PhaseTime(seconds=est.seconds, estimate=est, assignment=assignment)
+
+
+def _infer_max_degree(result: CountResult) -> float:
+    mem = result.per_root_memory
+    if mem.size == 0 or mem.max() == 0:
+        return 1.0
+    # Invert bytes = d * words(d) * 8 (+ index) approximately via sqrt.
+    peak = float(mem.max())
+    return max(1.0, (peak / 8.0) ** 0.5 * 8.0**0.5)
+
+
+def simulate_ordering(
+    cost: ParallelCost,
+    *,
+    threads: int,
+    machine: MachineSpec = EPYC_9554,
+    work_scale: float = 1.0,
+) -> PhaseTime:
+    """Model an ordering phase from its round/sequential work profile."""
+    est = CostModel(machine).estimate_rounds(
+        cost.rounds, cost.sequential, threads=threads, work_scale=work_scale
+    )
+    return PhaseTime(seconds=est.seconds, estimate=est, assignment=None)
+
+
+def scaling_curve(
+    result: CountResult,
+    thread_counts: list[int],
+    **kwargs,
+) -> dict[int, PhaseTime]:
+    """Counting-phase model across thread counts (Fig. 11 series)."""
+    return {
+        t: simulate_counting(result, threads=t, **kwargs) for t in thread_counts
+    }

@@ -1,0 +1,159 @@
+"""Simulated execution timelines (per-thread Gantt traces).
+
+The paper's load-balance analysis "measure[s] the time required for
+each thread during the entire counting phase" (Sec. IV) and reports a
+coefficient of variation of 0.03 at 64 threads.  This module produces
+the same artifact from the simulated executor: a deterministic
+per-thread timeline of task executions under a given scheduler, from
+which per-thread busy times, utilization, and the CV are derived — plus
+an SVG Gantt renderer for inspection.
+
+The dynamic scheduler's timeline is the exact greedy list schedule
+(tasks start on the earliest-available thread in submission order);
+static/cyclic timelines execute each thread's fixed assignment
+back-to-back.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParallelModelError
+from repro.parallel.sched import CyclicScheduler, Scheduler, StaticScheduler
+
+__all__ = ["TaskSpan", "Timeline", "simulate_timeline"]
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One chunk execution on one thread (work units as time)."""
+
+    thread: int
+    start: float
+    end: float
+    first_task: int
+    last_task: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A complete simulated counting-phase execution."""
+
+    spans: tuple[TaskSpan, ...]
+    threads: int
+
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.spans), default=0.0)
+
+    def busy_times(self) -> np.ndarray:
+        """Total busy work units per thread (the paper's per-thread
+        counting time)."""
+        busy = np.zeros(self.threads, dtype=np.float64)
+        for s in self.spans:
+            busy[s.thread] += s.duration
+        return busy
+
+    @property
+    def cv(self) -> float:
+        busy = self.busy_times()
+        mean = busy.mean() if busy.size else 0.0
+        return float(busy.std() / mean) if mean else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of ``threads x makespan``."""
+        total = self.makespan * self.threads
+        return float(self.busy_times().sum() / total) if total else 1.0
+
+    # ------------------------------------------------------------------
+    def to_svg(self, *, width: int = 760, row_height: int = 12) -> str:
+        """Render the timeline as a Gantt chart (one row per thread)."""
+        from xml.sax.saxutils import escape
+
+        height = 40 + self.threads * row_height
+        span = self.makespan or 1.0
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2}" y="16" text-anchor="middle" '
+            'font-family="Helvetica,Arial,sans-serif" font-size="13">'
+            f"{escape(f'timeline: {self.threads} threads, CV {self.cv:.3f}')}"
+            "</text>",
+        ]
+        x0, x1 = 40.0, width - 10.0
+        for s in self.spans:
+            bx = x0 + s.start / span * (x1 - x0)
+            bw = max(0.5, s.duration / span * (x1 - x0))
+            y = 28 + s.thread * row_height
+            shade = 210 - 60 * (s.first_task % 2)
+            parts.append(
+                f'<rect x="{bx:.1f}" y="{y}" width="{bw:.1f}" '
+                f'height="{row_height - 2}" '
+                f'fill="rgb({shade - 80},{shade - 40},{shade})"/>'
+            )
+        for t in range(self.threads):
+            parts.append(
+                f'<text x="4" y="{28 + t * row_height + row_height - 3}" '
+                'font-family="Helvetica,Arial,sans-serif" font-size="8" '
+                f'fill="#555">T{t}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def simulate_timeline(
+    work: np.ndarray,
+    threads: int,
+    scheduler: Scheduler,
+) -> Timeline:
+    """Execute the task list under ``scheduler`` and return the trace.
+
+    Dynamic scheduling replays the greedy earliest-available-thread
+    policy; static/cyclic execute their fixed per-thread chunk lists
+    back-to-back.  Conservation: total busy time equals total work.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    if threads < 1:
+        raise ParallelModelError("threads must be >= 1")
+    if work.ndim != 1:
+        raise ParallelModelError("work must be a 1-D array")
+    spans: list[TaskSpan] = []
+    chunks = scheduler._chunks(work.size)
+    if isinstance(scheduler, StaticScheduler):
+        bounds = np.linspace(0, work.size, threads + 1).astype(np.int64)
+        for t in range(threads):
+            clock = 0.0
+            lo, hi = int(bounds[t]), int(bounds[t + 1])
+            if hi > lo:
+                w = float(work[lo:hi].sum())
+                spans.append(TaskSpan(t, clock, clock + w, lo, hi - 1))
+        return Timeline(spans=tuple(spans), threads=threads)
+    if isinstance(scheduler, CyclicScheduler):
+        clocks = np.zeros(threads, dtype=np.float64)
+        for i, sl in enumerate(chunks):
+            t = i % threads
+            w = float(work[sl].sum())
+            spans.append(
+                TaskSpan(t, float(clocks[t]), float(clocks[t]) + w,
+                         sl.start, sl.stop - 1)
+            )
+            clocks[t] += w
+        return Timeline(spans=tuple(spans), threads=threads)
+    # Dynamic (default): earliest-available thread takes the next chunk.
+    heap = [(0.0, t) for t in range(threads)]
+    heapq.heapify(heap)
+    for sl in chunks:
+        w = float(work[sl].sum())
+        clock, t = heapq.heappop(heap)
+        spans.append(TaskSpan(t, clock, clock + w, sl.start, sl.stop - 1))
+        heapq.heappush(heap, (clock + w, t))
+    return Timeline(spans=tuple(spans), threads=threads)

@@ -1,0 +1,31 @@
+"""Analytic performance model.
+
+Converts exact algorithmic measurements (the counting/ordering work
+counters) into the hardware-level quantities the paper reports —
+instructions, LLC MPKI, IPC, model-seconds — for the paper's machine
+(:data:`repro.parallel.machine.EPYC_9554`) and for the GPU-Pivot
+comparison points.
+
+The model is deliberately simple and fully documented:
+
+* **instructions** — linear in counted work units;
+* **cold misses** — the graph is streamed once per first-level
+  subgraph build (``build_words``);
+* **capacity misses** — index lookups miss when the per-thread index
+  working set cannot co-reside in the shared LLC (this is what
+  separates the dense structure from sparse/remap);
+* **time** — a roofline: compute time at the modeled CPI vs. DRAM
+  traffic over sustained bandwidth.
+"""
+
+from repro.perfmodel.cache import CacheModel, structure_index_bytes
+from repro.perfmodel.cost import CostModel, PerfEstimate
+from repro.perfmodel.gpu import gpu_pivot_time
+
+__all__ = [
+    "CacheModel",
+    "structure_index_bytes",
+    "CostModel",
+    "PerfEstimate",
+    "gpu_pivot_time",
+]

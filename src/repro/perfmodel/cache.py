@@ -1,0 +1,74 @@
+"""LLC capacity model.
+
+The paper's Sec. IV observation, made quantitative: the subgraph index
+is thread-local, so with ``T`` threads the caches must hold ``T`` copies
+of it.  The dense structure's ``8 |V|`` bytes per thread overflow the
+256 MB LLC somewhere between 8 and 32 threads on multi-million-vertex
+graphs — "if the number of threads is greater than the average degree of
+the graph, these indices alone will consume more memory than the
+original graph" — while the sparse/remap structures' ``O(max
+out-degree)`` footprint always fits.  Index accesses that miss go to
+DRAM; that traffic is what the roofline in :mod:`repro.perfmodel.cost`
+charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParallelModelError
+
+__all__ = ["structure_index_bytes", "CacheModel"]
+
+_HASH_ENTRY_BYTES = 48
+
+
+def structure_index_bytes(
+    structure: str, num_vertices: float, max_out_degree: float
+) -> float:
+    """Per-thread index footprint of a subgraph structure (Fig. 4).
+
+    ``num_vertices`` may be a dataset analog's *effective* (paper-scale)
+    vertex count — footprints are analytic so evaluating them at paper
+    scale is exact, not extrapolation.
+    """
+    d = max_out_degree
+    words = (int(d) + 63) >> 6 or 1
+    bitset = d * words * 8
+    if structure == "dense":
+        return 8.0 * num_vertices + bitset
+    if structure == "sparse":
+        return _HASH_ENTRY_BYTES * d + bitset
+    if structure == "remap":
+        return 8.0 * d + bitset
+    raise ParallelModelError(f"unknown structure {structure!r}")
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Shared-LLC occupancy -> per-access miss probability.
+
+    With ``T`` threads each holding ``ws`` bytes of hot index, the
+    fraction of index accesses that miss is the fraction of the
+    combined working set that cannot reside in the LLC:
+
+    ``p_miss = max(0, (T * ws - llc) / (T * ws))``
+
+    (0 while everything fits; asymptotically 1).  This is the standard
+    working-set/fractal-of-fit approximation; it is exact for a fully
+    associative cache with uniform access to the working set.
+    """
+
+    llc_bytes: float
+
+    def miss_probability(self, ws_per_thread: float, threads: int) -> float:
+        if threads < 1:
+            raise ParallelModelError("threads must be >= 1")
+        total = ws_per_thread * threads
+        if total <= self.llc_bytes or total <= 0:
+            return 0.0
+        return (total - self.llc_bytes) / total
+
+    def resident_fraction(self, ws_per_thread: float, threads: int) -> float:
+        """Complement of :meth:`miss_probability`."""
+        return 1.0 - self.miss_probability(ws_per_thread, threads)

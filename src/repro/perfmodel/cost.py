@@ -1,0 +1,208 @@
+"""Work counters -> instructions, MPKI, IPC, model-seconds.
+
+One deliberately small model, used everywhere:
+
+* ``instructions = instructions_per_work x work`` — work is the exact
+  counted quantity (bitset words + weighted index lookups + build
+  scan), so instruction *ratios* between configurations (Table II) are
+  algorithmic facts, with a single calibration constant scaling all of
+  them.
+* misses = cold + capacity.  Cold misses stream the graph during
+  first-level builds; capacity misses are index lookups that fall out
+  of the shared LLC (:class:`repro.perfmodel.cache.CacheModel`).
+* ``CPI = base + miss_penalty x misses/instruction`` and
+  ``IPC = 1 / CPI``.
+* time is a roofline: ``max(compute seconds, DRAM traffic / bandwidth)``
+  with Amdahl treatment of any serialized fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.counting.counters import Counters
+from repro.errors import ParallelModelError
+from repro.parallel.machine import MachineSpec
+from repro.perfmodel.cache import CacheModel, structure_index_bytes
+
+__all__ = ["PerfEstimate", "CostModel"]
+
+_LINE_BYTES = 64.0
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Modeled execution of one phase on the modeled machine.
+
+    ``seconds`` is the roofline of ``compute_seconds`` and
+    ``memory_seconds``.  ``mpki``/``ipc`` are reported the way the
+    paper's Table II reports hardware counters.
+    """
+
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    instructions: float
+    misses: float
+    mpki: float
+    ipc: float
+    miss_probability: float
+    threads: int
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates ("compute" or "memory")."""
+        return "memory" if self.memory_seconds > self.compute_seconds else "compute"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Performance model bound to one machine spec."""
+
+    machine: MachineSpec
+
+    @property
+    def cache(self) -> CacheModel:
+        return CacheModel(llc_bytes=float(self.machine.llc_bytes))
+
+    # ------------------------------------------------------------------
+    def instructions(self, work: float) -> float:
+        """Modeled instruction count for ``work`` abstract units."""
+        return self.machine.instructions_per_work * work
+
+    def estimate_counting(
+        self,
+        counters: Counters,
+        *,
+        threads: int,
+        structure: str,
+        max_out_degree: float,
+        effective_num_vertices: float,
+        makespan_work: float | None = None,
+        serial_fraction: float = 0.0,
+        work_scale: float = 1.0,
+    ) -> PerfEstimate:
+        """Model the counting phase.
+
+        Parameters
+        ----------
+        counters:
+            Aggregate counters of the (real) counting run.
+        makespan_work:
+            Bottleneck-thread work from the scheduler; defaults to a
+            perfectly balanced ``total / threads``.
+        serial_fraction:
+            Amdahl share of work that does not parallelize (used for
+            the naive-parallel Pivoter baseline).
+        effective_num_vertices:
+            Paper-scale ``|V|`` for the per-thread index footprint.
+        work_scale:
+            Linear extrapolation factor applied to measured work when a
+            scaled-down analog stands in for a paper-scale graph
+            (``effective |V| / analog |V|``).  Scale-invariant
+            quantities (MPKI, IPC, within-graph ratios) are unaffected.
+        """
+        if threads < 1:
+            raise ParallelModelError("threads must be >= 1")
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ParallelModelError("serial_fraction must lie in [0, 1]")
+        if work_scale <= 0:
+            raise ParallelModelError("work_scale must be positive")
+        total_work = counters.work * work_scale
+        if makespan_work is None:
+            makespan_work = total_work / threads
+        else:
+            makespan_work *= work_scale
+        if total_work > 0 and makespan_work * threads < total_work * (1 - 1e-9):
+            raise ParallelModelError("makespan below perfect balance")
+
+        ws = structure_index_bytes(
+            structure, effective_num_vertices, max_out_degree
+        )
+        p_miss = self.cache.miss_probability(ws, threads)
+
+        instr_total = self.instructions(total_work)
+        cold_misses = counters.build_words * work_scale * 8.0 / _LINE_BYTES
+        # Scattered index touches: recursion-time lookups always go
+        # through the structure's index; for the dense structure the
+        # membership tests during subgraph induction do too (one probe
+        # of the |V|-sized array per scanned neighbor) — that is what
+        # makes dense builds DRAM-bound once per-thread indexes spill
+        # out of the LLC (the paper's 32-thread plateau).
+        scattered = counters.index_lookups
+        if structure == "dense":
+            scattered += counters.build_words
+        capacity_misses = scattered * work_scale * p_miss
+        misses = cold_misses + capacity_misses
+        mpki = misses / (instr_total / 1000.0) if instr_total else 0.0
+        cpi = self.machine.base_cpi + self.machine.miss_penalty_cycles * (
+            misses / instr_total if instr_total else 0.0
+        )
+        ipc = 1.0 / cpi if cpi else 0.0
+
+        # Amdahl: serialized share runs on one thread at single-thread
+        # CPI; the parallel share finishes when the bottleneck thread
+        # does.
+        parallel_share = (
+            makespan_work / total_work if total_work else 1.0 / threads
+        )
+        effective_work = total_work * (
+            serial_fraction + (1.0 - serial_fraction) * parallel_share
+        )
+        compute_seconds = self.machine.seconds_for(
+            self.instructions(effective_work), cpi
+        )
+        traffic = misses * _LINE_BYTES
+        memory_seconds = traffic / self.machine.dram_bw_bytes
+        return PerfEstimate(
+            seconds=max(compute_seconds, memory_seconds),
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            instructions=instr_total,
+            misses=misses,
+            mpki=mpki,
+            ipc=ipc,
+            miss_probability=p_miss,
+            threads=threads,
+        )
+
+    def estimate_rounds(
+        self,
+        rounds: tuple[float, ...],
+        sequential: float,
+        *,
+        threads: int,
+        work_scale: float = 1.0,
+    ) -> PerfEstimate:
+        """Model a round-synchronous phase (the ordering algorithms).
+
+        Each round's work splits perfectly across threads (the rounds
+        are data-parallel scans) followed by one barrier; sequential
+        work runs on one thread.  Ordering work units are lighter than
+        counting work units, so they share the same
+        ``instructions_per_work`` but run at base CPI (orderings are
+        streaming passes, bandwidth-friendly).
+        """
+        if threads < 1:
+            raise ParallelModelError("threads must be >= 1")
+        if work_scale <= 0:
+            raise ParallelModelError("work_scale must be positive")
+        cpi = self.machine.base_cpi
+        per_thread_work = (
+            sum(r / threads for r in rounds) + sequential
+        ) * work_scale
+        instr = self.instructions(per_thread_work)
+        barrier = self.machine.barrier_seconds * len(rounds) if threads > 1 else 0.0
+        seconds = self.machine.seconds_for(instr, cpi) + barrier
+        total_instr = self.instructions((sum(rounds) + sequential) * work_scale)
+        return PerfEstimate(
+            seconds=seconds,
+            compute_seconds=seconds,
+            memory_seconds=0.0,
+            instructions=total_instr,
+            misses=0.0,
+            mpki=0.0,
+            ipc=1.0 / cpi,
+            miss_probability=0.0,
+            threads=threads,
+        )

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def k4() -> CSRGraph:
+    return complete_graph(4)
+
+
+@pytest.fixture
+def triangle_plus_pendant() -> CSRGraph:
+    """Triangle 0-1-2 with pendant vertex 3 attached to 0."""
+    from repro.graph.build import from_edge_list
+
+    return from_edge_list([(0, 1), (1, 2), (0, 2), (0, 3)])
+
+
+@pytest.fixture
+def medium_random() -> CSRGraph:
+    """A deterministic mid-size random graph for integration tests."""
+    return erdos_renyi(60, 0.2, seed=42)
+
+
+@pytest.fixture
+def small_suite() -> list[CSRGraph]:
+    """Diverse small graphs used by cross-implementation checks."""
+    return [
+        complete_graph(1),
+        complete_graph(2),
+        complete_graph(7),
+        path_graph(6),
+        star_graph(5),
+        erdos_renyi(12, 0.3, seed=0),
+        erdos_renyi(12, 0.6, seed=1),
+        erdos_renyi(15, 0.45, seed=2),
+    ]
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration test")

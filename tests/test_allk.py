@@ -1,0 +1,40 @@
+"""Clique-size distribution helpers (Fig. 1 / Table I support)."""
+
+import math
+
+from repro.counting.allk import clique_size_distribution, max_clique_size
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import degree_ordering
+
+
+def test_distribution_complete_graph():
+    dist = clique_size_distribution(complete_graph(7))
+    assert dist == [0] + [math.comb(7, k) for k in range(1, 8)]
+
+
+def test_max_clique_size_matches_networkx():
+    import networkx as nx
+
+    g = erdos_renyi(40, 0.35, seed=17)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(40))
+    nxg.add_edges_from(g.edges())
+    expected = max(len(c) for c in nx.find_cliques(nxg))
+    assert max_clique_size(g) == expected
+
+
+def test_distribution_peak_of_planted_clique():
+    """A graph dominated by one big clique peaks at ~ k_max / 2 —
+    the paper's Fig. 1 observation."""
+    edges = [(u, v) for u in range(20) for v in range(u + 1, 20)]
+    edges += [(19 + i, 20 + i) for i in range(30)]  # sparse tail
+    g = from_edge_list(edges)
+    dist = clique_size_distribution(g)
+    peak = max(range(len(dist)), key=lambda k: dist[k])
+    assert peak == 10  # C(20, k) maximized at k = 10
+
+
+def test_accepts_explicit_ordering():
+    g = star_graph(5)
+    assert max_clique_size(g, degree_ordering(g)) == 2

@@ -1,0 +1,119 @@
+"""Applications: clique-percolation communities, densest subgraph."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    k_clique_communities,
+    kclique_densest_subgraph,
+    kclique_density,
+)
+from repro.errors import CountingError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import (
+    chung_lu,
+    complete_graph,
+    erdos_renyi,
+    overlay,
+    path_graph,
+    planted_cliques,
+    power_law_degrees,
+)
+
+
+# ----------------------------------------------------------------- CPM
+def _nx_cpm(g, k):
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    nxg.add_edges_from(g.edges())
+    return sorted(sorted(c) for c in nx.community.k_clique_communities(nxg, k))
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("k", [3, 4])
+def test_cpm_matches_networkx(seed, k):
+    g = erdos_renyi(22, 0.4, seed=seed)
+    got = sorted(sorted(c) for c in k_clique_communities(g, k))
+    assert got == _nx_cpm(g, k)
+
+
+def test_cpm_two_overlapping_triangles():
+    # Triangles 0-1-2 and 1-2-3 share an edge: one 3-clique community.
+    g = from_edge_list([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    comms = k_clique_communities(g, 3)
+    assert comms == [{0, 1, 2, 3}]
+
+
+def test_cpm_disjoint_triangles():
+    g = from_edge_list([(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)])
+    comms = k_clique_communities(g, 3)
+    assert sorted(sorted(c) for c in comms) == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_cpm_no_cliques():
+    assert k_clique_communities(path_graph(5), 3) == []
+
+
+def test_cpm_sorted_by_size():
+    g = from_edge_list(
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3),  # 4-vertex community
+         (5, 6), (5, 7), (6, 7)]                  # triangle
+    )
+    comms = k_clique_communities(g, 3)
+    assert [len(c) for c in comms] == [4, 3]
+
+
+def test_cpm_validation():
+    with pytest.raises(CountingError):
+        k_clique_communities(complete_graph(4), 1)
+
+
+# --------------------------------------------------------------- densest
+def test_density_complete_graph():
+    g = complete_graph(6)
+    d = kclique_density(g, np.arange(6), 3)
+    assert d == Fraction(20, 6)
+
+
+def test_density_empty_selection():
+    g = complete_graph(4)
+    assert kclique_density(g, np.array([], dtype=np.int64), 3) == 0
+
+
+def test_densest_recovers_planted_clique():
+    n = 250
+    bg = chung_lu(power_law_degrees(n, 2.8, 1.5, seed=11), seed=12).edge_array()
+    pc = planted_cliques(n, [12], seed=13)
+    g = overlay(n, bg, pc)
+    res = kclique_densest_subgraph(g, 3, recompute_every=4)
+    planted = set(np.unique(pc).tolist())
+    assert len(planted & set(res.vertices)) >= 11
+    assert res.density >= Fraction(1)
+
+
+def test_densest_on_pure_clique():
+    g = complete_graph(8)
+    res = kclique_densest_subgraph(g, 3)
+    assert set(res.vertices) == set(range(8))
+    assert res.density == Fraction(56, 8)
+    assert res.clique_count == 56
+
+
+def test_densest_density_is_exact_fraction():
+    g = erdos_renyi(40, 0.3, seed=14)
+    res = kclique_densest_subgraph(g, 3, recompute_every=5)
+    assert res.density == kclique_density(
+        g, np.array(res.vertices, dtype=np.int64), 3
+    )
+
+
+def test_densest_validation():
+    g = complete_graph(5)
+    with pytest.raises(CountingError):
+        kclique_densest_subgraph(g, 1)
+    with pytest.raises(CountingError):
+        kclique_densest_subgraph(g, 3, recompute_every=0)

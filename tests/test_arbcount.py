@@ -1,0 +1,100 @@
+"""The enumeration (Arb-Count style) baseline."""
+
+import math
+
+import pytest
+
+from repro.counting import brute_force_count, count_kcliques, count_kcliques_enumeration
+from repro.counting.arbcount import EnumerationBudgetExceeded
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import core_ordering, degree_ordering, directionalize
+
+
+def test_matches_brute_force(small_suite):
+    for g in small_suite:
+        o = degree_ordering(g)
+        for k in range(1, 7):
+            assert (
+                count_kcliques_enumeration(g, k, o).count
+                == brute_force_count(g, k)
+            )
+
+
+def test_matches_pivoting_on_medium(medium_random):
+    g = medium_random
+    o = core_ordering(g)
+    for k in (3, 4, 5):
+        assert (
+            count_kcliques_enumeration(g, k, o).count
+            == count_kcliques(g, k, o).count
+        )
+
+
+def test_k1_k2_fast_paths():
+    g = erdos_renyi(25, 0.2, seed=3)
+    o = degree_ordering(g)
+    assert count_kcliques_enumeration(g, 1, o).count == 25
+    assert count_kcliques_enumeration(g, 2, o).count == g.num_edges
+
+
+def test_complete_graph():
+    g = complete_graph(12)
+    o = core_ordering(g)
+    assert count_kcliques_enumeration(g, 6, o).count == math.comb(12, 6)
+
+
+def test_star_no_triangles():
+    g = star_graph(8)
+    assert count_kcliques_enumeration(g, 3, degree_ordering(g)).count == 0
+
+
+def test_budget_exceeded():
+    g = complete_graph(16)
+    with pytest.raises(EnumerationBudgetExceeded):
+        count_kcliques_enumeration(g, 8, core_ordering(g), max_nodes=5)
+
+
+def test_budget_sufficient_no_raise():
+    g = complete_graph(8)
+    r = count_kcliques_enumeration(g, 4, core_ordering(g), max_nodes=10**7)
+    assert r.count == math.comb(8, 4)
+
+
+def test_work_grows_with_k():
+    """The Fig. 12 shape: enumeration work explodes with clique size,
+    unlike pivoting whose tree is k-insensitive."""
+    g = erdos_renyi(50, 0.7, seed=4)
+    o = core_ordering(g)
+    w = [
+        count_kcliques_enumeration(g, k, o).counters.work
+        for k in (4, 6, 8)
+    ]
+    assert w[0] < w[1] < w[2]
+    piv = [count_kcliques(g, k, o).counters.work for k in (4, 6, 8)]
+    assert w[2] / w[0] > 3 * (piv[2] / piv[0])
+
+
+def test_invalid_k():
+    g = complete_graph(4)
+    with pytest.raises(CountingError):
+        count_kcliques_enumeration(g, 0, core_ordering(g))
+
+
+def test_directed_input_rejected():
+    g = complete_graph(4)
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        count_kcliques_enumeration(dag, 3, core_ordering(g))
+    with pytest.raises(CountingError):
+        count_kcliques_enumeration(g, 3, g)
+
+
+def test_accepts_dag():
+    g = erdos_renyi(20, 0.4, seed=5)
+    o = core_ordering(g)
+    dag = directionalize(g, o)
+    assert (
+        count_kcliques_enumeration(g, 3, dag).count
+        == count_kcliques_enumeration(g, 3, o).count
+    )

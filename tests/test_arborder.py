@@ -1,0 +1,84 @@
+"""Barenboim-Elkin and Goodrich-Pszona arboricity orderings."""
+
+import numpy as np
+import pytest
+
+from repro.counting import count_kcliques
+from repro.errors import OrderingError
+from repro.graph.generators import complete_graph, empty_graph, rmat
+from repro.ordering import core_ordering, max_out_degree
+from repro.ordering.arborder import (
+    barenboim_elkin_ordering,
+    goodrich_pszona_ordering,
+)
+
+
+@pytest.fixture(scope="module")
+def skew():
+    return rmat(9, 8.0, seed=91)
+
+
+@pytest.mark.parametrize(
+    "factory", [barenboim_elkin_ordering, goodrich_pszona_ordering],
+    ids=["BE", "GP"],
+)
+def test_is_permutation(factory, skew):
+    o = factory(skew)
+    assert np.array_equal(np.sort(o.rank), np.arange(skew.num_vertices))
+
+
+@pytest.mark.parametrize(
+    "factory", [barenboim_elkin_ordering, goodrich_pszona_ordering],
+    ids=["BE", "GP"],
+)
+def test_quality_within_constant_of_core(factory, skew):
+    """Both guarantee O(arboricity) out-degree; empirically within a
+    small constant of the degeneracy."""
+    core_q = max_out_degree(skew, core_ordering(skew))
+    q = max_out_degree(skew, factory(skew))
+    assert core_q <= q <= 4 * core_q + 4
+
+
+@pytest.mark.parametrize(
+    "factory", [barenboim_elkin_ordering, goodrich_pszona_ordering],
+    ids=["BE", "GP"],
+)
+def test_counting_agrees(factory, skew):
+    ref = count_kcliques(skew, 4, core_ordering(skew)).count
+    assert count_kcliques(skew, 4, factory(skew)).count == ref
+
+
+def test_logarithmic_round_counts(skew):
+    n = skew.num_vertices
+    be = barenboim_elkin_ordering(skew)
+    gp = goodrich_pszona_ordering(skew)
+    bound = 14 * int(np.log2(n) + 1)
+    assert be.cost.num_rounds <= bound
+    assert gp.cost.num_rounds <= bound
+
+
+def test_complete_graph_fallback():
+    # Regular graph: BE threshold (2+eps) * d/2 >= d selects everyone.
+    g = complete_graph(8)
+    o = barenboim_elkin_ordering(g)
+    assert o.cost.num_rounds == 1
+    assert max_out_degree(g, o) == 7
+
+
+def test_gp_fraction_bounds():
+    g = complete_graph(8)
+    o = goodrich_pszona_ordering(g, eps=1.0)  # remove half per round
+    assert 1 <= o.cost.num_rounds <= 5
+
+
+def test_empty_graph():
+    for factory in (barenboim_elkin_ordering, goodrich_pszona_ordering):
+        assert factory(empty_graph(5)).num_vertices == 5
+
+
+def test_eps_validation():
+    g = complete_graph(4)
+    with pytest.raises(OrderingError):
+        barenboim_elkin_ordering(g, eps=-0.1)
+    with pytest.raises(OrderingError):
+        goodrich_pszona_ordering(g, eps=0.0)

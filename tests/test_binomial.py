@@ -1,0 +1,53 @@
+"""Binomial table: identities and range behavior."""
+
+import math
+
+import pytest
+
+from repro.counting.binomial import BinomialTable, binomial, binomial_row
+
+
+def test_matches_math_comb():
+    for n in range(0, 40):
+        for k in range(0, n + 1):
+            assert binomial(n, k) == math.comb(n, k)
+
+
+def test_out_of_range_is_zero():
+    assert binomial(5, 6) == 0
+    assert binomial(5, -1) == 0
+    assert binomial(-1, 0) == 0
+
+
+def test_row_contents():
+    assert binomial_row(4) == (1, 4, 6, 4, 1)
+    assert binomial_row(0) == (1,)
+
+
+def test_row_sums_are_powers_of_two():
+    for n in range(0, 25):
+        assert sum(binomial_row(n)) == 2**n
+
+
+def test_symmetry():
+    for n in range(0, 30):
+        row = binomial_row(n)
+        assert row == tuple(reversed(row))
+
+
+def test_pascal_identity():
+    for n in range(1, 30):
+        for k in range(1, n):
+            assert binomial(n, k) == binomial(n - 1, k - 1) + binomial(n - 1, k)
+
+
+def test_large_values_exact():
+    # Exact big-int arithmetic far past 64-bit.
+    assert binomial(200, 100) == math.comb(200, 100)
+
+
+def test_fresh_table_row_validation():
+    t = BinomialTable()
+    with pytest.raises(ValueError):
+        t.row(-1)
+    assert t.choose(3, 2) == 3

@@ -1,0 +1,77 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import complete_graph
+from repro.graph.io import write_edge_list
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "livejournal" in out and "Friendster" in out
+
+
+def test_count_dataset(capsys):
+    assert main(["count", "--dataset", "baidu", "-k", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "4-cliques:" in out
+    assert "ordering:" in out
+
+
+def test_count_edge_list(tmp_path, capsys):
+    path = tmp_path / "k6.el"
+    write_edge_list(complete_graph(6), path)
+    assert main(["count", "--edge-list", str(path), "-k", "3"]) == 0
+    assert "3-cliques: 20" in capsys.readouterr().out
+
+
+def test_count_per_vertex(tmp_path, capsys):
+    path = tmp_path / "k5.el"
+    write_edge_list(complete_graph(5), path)
+    assert main(["count", "--edge-list", str(path), "-k", "3",
+                 "--per-vertex"]) == 0
+    assert "top per-vertex counts" in capsys.readouterr().out
+
+
+def test_count_forced_ordering(tmp_path, capsys):
+    path = tmp_path / "k5.el"
+    write_edge_list(complete_graph(5), path)
+    assert main(["count", "--edge-list", str(path), "-k", "2",
+                 "--ordering", "core", "--structure", "dense"]) == 0
+    assert "3-cliques" not in capsys.readouterr().out
+
+
+def test_dist_command(tmp_path, capsys):
+    path = tmp_path / "k5.el"
+    write_edge_list(complete_graph(5), path)
+    assert main(["dist", "--edge-list", str(path), "--max-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "k=  2: 10" in out
+    assert "k=  3: 10" in out
+
+
+def test_orderings_command(tmp_path, capsys):
+    path = tmp_path / "g.el"
+    write_edge_list(complete_graph(8), path)
+    assert main(["orderings", "--edge-list", str(path), "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "barenboim-elkin" in out and "goodrich-pszona" in out
+
+
+def test_unknown_dataset_is_clean_error(capsys):
+    assert main(["count", "--dataset", "twitter", "-k", "3"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_bad_k_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "g.el"
+    write_edge_list(complete_graph(3), path)
+    assert main(["count", "--edge-list", str(path), "-k", "0"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,79 @@
+"""k-clique core decomposition (clique peeling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.cliquecore import kclique_core_numbers, kclique_core_subgraph
+from repro.errors import CountingError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, erdos_renyi, path_graph, star_graph
+from repro.ordering import core_numbers
+
+
+def _brute_core(g, k):
+    """Reference peel with full recount each step."""
+    from itertools import combinations
+
+    adj = [set(map(int, g.neighbors(v))) for v in range(g.num_vertices)]
+    alive = set(range(g.num_vertices))
+
+    def cnt(v):
+        nb = sorted(adj[v] & alive)
+        return sum(
+            1 for sub in combinations(nb, k - 1)
+            if all(b in adj[a] for a, b in combinations(sub, 2))
+        )
+
+    core = [0] * g.num_vertices
+    run = 0
+    while alive:
+        v = min(alive, key=cnt)
+        run = max(run, cnt(v))
+        core[v] = run
+        alive.discard(v)
+    return core
+
+
+def test_k2_reduces_to_classic_cores():
+    for seed in range(3):
+        g = erdos_renyi(35, 0.15, seed=seed)
+        assert kclique_core_numbers(g, 2) == core_numbers(g).tolist()
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_triangle_cores_match_reference(seed):
+    g = erdos_renyi(16, 0.45, seed=seed)
+    assert kclique_core_numbers(g, 3) == _brute_core(g, 3)
+
+
+def test_k4_cores_match_reference():
+    g = erdos_renyi(14, 0.55, seed=9)
+    assert kclique_core_numbers(g, 4) == _brute_core(g, 4)
+
+
+def test_complete_graph():
+    g = complete_graph(7)
+    core = kclique_core_numbers(g, 3)
+    assert core == [math.comb(6, 2)] * 7
+
+
+def test_no_cliques_all_zero():
+    assert kclique_core_numbers(path_graph(6), 3) == [0] * 6
+    assert kclique_core_numbers(star_graph(5), 3) == [0] * 6
+
+
+def test_core_subgraph_finds_dense_part():
+    # K6 plus a pendant path: the 6-clique is the max triangle core.
+    edges = [(a, b) for a in range(6) for b in range(a + 1, 6)]
+    edges += [(5, 6), (6, 7)]
+    g = from_edge_list(edges)
+    members, top = kclique_core_subgraph(g, 3)
+    assert set(members.tolist()) == set(range(6))
+    assert top == math.comb(5, 2)
+
+
+def test_validation():
+    with pytest.raises(CountingError):
+        kclique_core_numbers(complete_graph(4), 1)

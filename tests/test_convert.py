@@ -1,0 +1,88 @@
+"""networkx / scipy converters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.convert import (
+    from_networkx,
+    from_scipy_sparse,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.ordering import core_ordering, directionalize
+
+
+def test_networkx_roundtrip():
+    g = erdos_renyi(30, 0.2, seed=31)
+    assert from_networkx(to_networkx(g)) == g
+
+
+def test_networkx_dag_export():
+    g = complete_graph(5)
+    dag = directionalize(g, core_ordering(g))
+    nxg = to_networkx(dag)
+    assert nxg.is_directed()
+    assert nxg.number_of_edges() == 10
+
+
+def test_from_networkx_rejects_directed():
+    import networkx as nx
+
+    with pytest.raises(GraphFormatError):
+        from_networkx(nx.DiGraph([(0, 1)]))
+
+
+def test_from_networkx_rejects_bad_labels():
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_edge("a", "b")
+    with pytest.raises(GraphFormatError):
+        from_networkx(nxg)
+
+
+def test_scipy_roundtrip():
+    g = erdos_renyi(25, 0.25, seed=32)
+    assert from_scipy_sparse(to_scipy_sparse(g)) == g
+
+
+def test_scipy_matrix_shape():
+    g = complete_graph(4)
+    mat = to_scipy_sparse(g)
+    assert mat.shape == (4, 4)
+    assert mat.nnz == 12  # both directions stored
+
+
+def test_from_scipy_symmetrizes_and_cleans():
+    from scipy.sparse import coo_array
+
+    # Asymmetric pattern with a self loop.
+    mat = coo_array(
+        (np.ones(3), (np.array([0, 1, 2]), np.array([1, 1, 0]))),
+        shape=(3, 3),
+    )
+    g = from_scipy_sparse(mat)
+    assert g.num_edges == 2  # (0,1) and (0,2); loop (1,1) dropped
+    assert g.has_edge(1, 0)
+
+
+def test_from_scipy_rejects_non_square():
+    from scipy.sparse import csr_array
+
+    with pytest.raises(GraphFormatError):
+        from_scipy_sparse(csr_array((2, 3)))
+
+
+def test_counting_via_networkx_import():
+    """End to end: import a networkx graph, count with PivotScale."""
+    import networkx as nx
+
+    from repro import count_cliques
+
+    nxg = nx.karate_club_graph()
+    g = from_networkx(nxg)
+    r = count_cliques(g, 3)
+    # Known value: Zachary's karate club has 45 triangles.
+    assert r.count == 45

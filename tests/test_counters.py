@@ -1,0 +1,31 @@
+"""Instrumentation counters: merging and derived quantities."""
+
+from repro.counting.counters import Counters
+
+
+def test_defaults_zero():
+    c = Counters()
+    assert c.work == 0.0
+    assert c.function_calls == 0
+
+
+def test_work_composition():
+    c = Counters(set_op_words=10.0, index_lookups=5.0, build_words=2.0)
+    assert c.work == 17.0
+
+
+def test_merge_sums_and_maxes():
+    a = Counters(function_calls=3, max_depth=4, peak_subgraph_bytes=100,
+                 set_op_words=1.0)
+    b = Counters(function_calls=2, max_depth=7, peak_subgraph_bytes=50,
+                 set_op_words=2.0)
+    a.merge(b)
+    assert a.function_calls == 5
+    assert a.max_depth == 7
+    assert a.peak_subgraph_bytes == 100
+    assert a.set_op_words == 3.0
+
+
+def test_as_dict_keys():
+    d = Counters().as_dict()
+    assert "work" in d and "function_calls" in d and "peak_subgraph_bytes" in d

@@ -1,0 +1,144 @@
+"""CSRGraph construction, validation, and query behavior."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, empty_graph, path_graph
+
+
+def test_empty_graph_properties():
+    g = empty_graph(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 0
+    assert g.max_degree == 0
+    assert g.average_degree == 0.0
+    assert list(g.edges()) == []
+
+
+def test_zero_vertex_graph():
+    g = empty_graph(0)
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+    assert g.average_degree == 0.0
+
+
+def test_basic_queries(k4):
+    assert k4.num_vertices == 4
+    assert k4.num_edges == 6
+    assert k4.num_directed_edges == 12
+    assert k4.max_degree == 3
+    assert k4.degree(0) == 3
+    assert list(k4.neighbors(0)) == [1, 2, 3]
+    assert k4.has_edge(0, 3)
+    assert not k4.has_edge(0, 0)
+
+
+def test_has_edge_missing(triangle_plus_pendant):
+    g = triangle_plus_pendant
+    assert g.has_edge(0, 3)
+    assert not g.has_edge(1, 3)
+    assert not g.has_edge(2, 3)
+
+
+def test_edges_yields_each_once(k4):
+    edges = list(k4.edges())
+    assert len(edges) == 6
+    assert all(u < v for u, v in edges)
+    assert len(set(edges)) == 6
+
+
+def test_edge_array_matches_edges(k4):
+    arr = k4.edge_array()
+    assert sorted(map(tuple, arr.tolist())) == sorted(k4.edges())
+
+
+def test_adjacency_sets(triangle_plus_pendant):
+    adj = triangle_plus_pendant.adjacency_sets()
+    assert adj[0] == {1, 2, 3}
+    assert adj[3] == {0}
+
+
+def test_degrees_read_only(k4):
+    with pytest.raises(ValueError):
+        k4.degrees[0] = 99
+    with pytest.raises(ValueError):
+        k4.indices[0] = 99
+
+
+def test_equality_and_hash():
+    a = complete_graph(4)
+    b = complete_graph(4)
+    c = path_graph(4)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != "not a graph"
+
+
+def test_repr_mentions_sizes(k4):
+    text = repr(k4)
+    assert "|V|=4" in text and "|E|=6" in text
+
+
+def test_validation_rejects_bad_indptr():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([1, 2]), np.array([0, 1]))
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 5]), np.array([0]))
+
+
+def test_validation_rejects_out_of_range_neighbor():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 1, 2]), np.array([2, 0]))
+
+
+def test_validation_rejects_self_loop():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 1, 1]), np.array([0]))
+
+
+def test_validation_rejects_unsorted_row():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 2, 2, 4]), np.array([2, 1, 0, 0]))
+
+
+def test_validation_rejects_duplicate_neighbor():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 2, 3, 3]), np.array([1, 1, 0]))
+
+
+def test_validation_rejects_asymmetry():
+    # 0 -> 1 without 1 -> 0 in an undirected graph.
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 1, 1]), np.array([1]))
+
+
+def test_directed_graph_allows_asymmetry():
+    g = CSRGraph(np.array([0, 1, 1]), np.array([1]), directed=True)
+    assert g.directed
+    assert g.num_edges == 1
+    assert list(g.edges()) == [(0, 1)]
+
+
+def test_non_1d_arrays_rejected():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.zeros((2, 2)), np.array([0]))
+
+
+def test_decreasing_indptr_rejected():
+    with pytest.raises(GraphFormatError):
+        CSRGraph(np.array([0, 2, 1, 3]), np.array([1, 2, 0]), directed=True)
+
+
+def test_average_degree(k4):
+    assert k4.average_degree == pytest.approx(3.0)
+
+
+def test_from_edge_list_roundtrip():
+    g = from_edge_list([(0, 1), (1, 2)])
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert list(g.neighbors(1)) == [0, 2]

@@ -1,0 +1,90 @@
+"""The eight Table-I analogs: determinism, fingerprints, heuristics."""
+
+import pytest
+
+from repro.datasets import REGISTRY, dataset_names, get_spec, load
+from repro.errors import DatasetError
+from repro.ordering import select_ordering
+
+EXPECTED_KMAX = {
+    # paper k_max scaled to about a third (LiveJournal's is unreported).
+    "dblp": 38,
+    "skitter": 22,
+    "baidu": 10,
+    "wikitalk": 9,
+    "orkut": 17,
+    "webedu": 150,
+    "friendster": 43,
+}
+
+
+def test_registry_has_paper_suite():
+    assert dataset_names() == [
+        "dblp", "skitter", "baidu", "wikitalk",
+        "orkut", "livejournal", "webedu", "friendster",
+    ]
+
+
+def test_get_spec_unknown():
+    with pytest.raises(DatasetError, match="unknown dataset"):
+        get_spec("twitter")
+
+
+def test_load_caches():
+    assert load("dblp") is load("dblp")
+
+
+def test_specs_carry_paper_columns():
+    spec = get_spec("orkut")
+    assert spec.paper_vertices_m == 3.1
+    assert spec.paper_avg_degree == 37.8
+    assert spec.best_ordering == "core"
+    assert get_spec("livejournal").paper_kmax is None
+    assert get_spec("livejournal").clique_rich
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_analogs_build_and_are_modest(name):
+    g = load(name)
+    assert 1000 <= g.num_vertices <= 20_000
+    assert g.num_edges > g.num_vertices  # connected-ish, non-trivial
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_analogs_deterministic(name):
+    spec = get_spec(name)
+    assert spec.builder() == spec.builder()
+
+
+@pytest.mark.parametrize("name", dataset_names())
+def test_heuristic_matches_table4(name):
+    """Table IV ground truth: the heuristic decision for every analog
+    matches the paper's best ordering."""
+    spec = get_spec(name)
+    d = select_ordering(
+        load(name), effective_num_vertices=spec.effective_num_vertices
+    )
+    want = "approx_core" if spec.best_ordering == "core" else "degree"
+    assert d.choice.value == want
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(EXPECTED_KMAX))
+def test_kmax_matches_scaled_paper_value(name):
+    from repro.counting.allk import max_clique_size
+
+    assert max_clique_size(load(name)) == EXPECTED_KMAX[name]
+
+
+@pytest.mark.slow
+def test_livejournal_work_grows_with_k():
+    """The Fig. 13 fingerprint: recursive calls grow steeply with k."""
+    from repro.counting import count_kcliques
+    from repro.ordering import core_ordering
+
+    g = load("livejournal")
+    o = core_ordering(g)
+    calls = {
+        k: count_kcliques(g, k, o).counters.function_calls for k in (6, 11)
+    }
+    assert calls[11] > 5 * calls[6]

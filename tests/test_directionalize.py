@@ -1,0 +1,88 @@
+"""Directionalization: acyclicity, edge preservation, quality metric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.generators import complete_graph, erdos_renyi, empty_graph
+from repro.ordering import (
+    core_ordering,
+    degree_ordering,
+    directionalize,
+    max_out_degree,
+)
+from repro.ordering.base import Ordering
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(80, 0.15, seed=21)
+
+
+def test_edge_count_preserved(graph):
+    dag = directionalize(graph, core_ordering(graph))
+    assert dag.num_edges == graph.num_edges
+    assert dag.directed
+
+
+def test_acyclic(graph):
+    import networkx as nx
+
+    dag = directionalize(graph, degree_ordering(graph))
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(dag.num_vertices))
+    nxg.add_edges_from(dag.edges())
+    assert nx.is_directed_acyclic_graph(nxg)
+
+
+def test_edges_point_up_rank(graph):
+    o = core_ordering(graph)
+    dag = directionalize(graph, o)
+    for u, v in dag.edges():
+        assert o.rank[u] < o.rank[v]
+
+
+def test_accepts_raw_rank_array(graph):
+    o = degree_ordering(graph)
+    assert directionalize(graph, o) == directionalize(graph, o.rank)
+
+
+def test_max_out_degree_matches_dag(graph):
+    for o in (core_ordering(graph), degree_ordering(graph)):
+        dag = directionalize(graph, o)
+        assert max_out_degree(graph, o) == dag.max_degree
+
+
+def test_rejects_directed_input(graph):
+    dag = directionalize(graph, core_ordering(graph))
+    with pytest.raises(OrderingError):
+        directionalize(dag, core_ordering(graph))
+    with pytest.raises(OrderingError):
+        max_out_degree(dag, core_ordering(graph))
+
+
+def test_rejects_wrong_size_rank(graph):
+    with pytest.raises(OrderingError):
+        directionalize(graph, np.arange(graph.num_vertices - 1))
+
+
+def test_identity_rank_on_complete_graph():
+    g = complete_graph(5)
+    dag = directionalize(g, np.arange(5))
+    # vertex 0 points to everyone, vertex 4 to no one.
+    assert dag.degree(0) == 4
+    assert dag.degree(4) == 0
+
+
+def test_empty_graph():
+    g = empty_graph(3)
+    dag = directionalize(g, np.arange(3))
+    assert dag.num_edges == 0
+    assert max_out_degree(g, np.arange(3)) == 0
+
+
+def test_rows_remain_sorted(graph):
+    dag = directionalize(graph, core_ordering(graph))
+    for u in range(dag.num_vertices):
+        row = dag.neighbors(u)
+        assert (np.diff(row) > 0).all() if row.size > 1 else True

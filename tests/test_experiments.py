@@ -1,0 +1,91 @@
+"""Smoke tests for the experiment harness (reduced-scale runs).
+
+The full-scale reproductions live under ``benchmarks/``; here each
+experiment runs on a small subset so ``pytest tests/`` exercises every
+harness code path and its shape checks.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+
+FAST = ("dblp", "skitter")
+
+
+def _assert_result(res, min_checks=1):
+    assert res.tables and res.tables[0].rows
+    assert len(res.shape_checks) >= min_checks
+    failed = [d for d, ok in res.shape_checks if not ok]
+    assert not failed, failed
+
+
+def test_table1():
+    _assert_result(E.table1_graph_suite(names=FAST))
+
+
+def test_fig1():
+    _assert_result(E.fig1_distribution(names=("dblp",)))
+
+
+def test_fig3():
+    _assert_result(E.fig3_degree_distributions("skitter"))
+
+
+def test_table2():
+    _assert_result(E.table2_counters(names=FAST, k=6))
+
+
+def test_table3():
+    _assert_result(E.table3_orderings(names=FAST, k=6))
+
+
+def test_fig5():
+    _assert_result(E.fig5_ordering_quality(names=FAST))
+
+
+def test_fig6():
+    _assert_result(E.fig6_ordering_time(names=FAST))
+
+
+def test_fig7():
+    _assert_result(E.fig7_counting_time(names=FAST, k=6))
+
+
+def test_fig8():
+    _assert_result(E.fig8_total_time(names=FAST, k=6))
+
+
+def test_table4():
+    _assert_result(E.table4_heuristic(names=FAST))
+
+
+def test_fig9():
+    _assert_result(E.fig9_structures(names=("skitter",), k=6))
+
+
+def test_fig10():
+    _assert_result(E.fig10_heuristic_vs_k(names=("skitter",), ks=(4, 6)))
+
+
+def test_fig11():
+    _assert_result(
+        E.fig11_scaling(names=("baidu",), ks=(6,), threads=(1, 32, 64))
+    )
+
+
+@pytest.mark.slow
+def test_table5():
+    _assert_result(E.table5_comparison(names=("skitter",), ks=(6, 8)))
+
+
+@pytest.mark.slow
+def test_table6():
+    _assert_result(E.table6_livejournal(ks=(6, 11)))
+
+
+def test_experiment_result_api():
+    res = E.ExperimentResult("x", [], {})
+    res.check("ok", True)
+    assert res.all_checks_pass
+    res.check("bad", False)
+    assert not res.all_checks_pass

@@ -1,0 +1,92 @@
+"""Failure injection and fuzzing for the I/O layer.
+
+Malformed input must raise :class:`GraphFormatError` (never a bare
+``ValueError``/``IndexError``/crash), and every successfully parsed
+graph must satisfy the CSR invariants.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphFormatError, ReproError
+from repro.graph.io import load_npz, read_edge_list, read_metis
+from repro.graph.csr import CSRGraph
+
+
+# ------------------------------------------------------- edge-list fuzz
+@settings(max_examples=150, deadline=None)
+@given(text=st.text(alphabet="0123456789 \t\n#%-ab.", max_size=200))
+def test_edge_list_fuzz_never_crashes(text):
+    try:
+        g = read_edge_list(io.StringIO(text))
+    except ReproError:
+        return  # clean, typed rejection
+    # Parsed: invariants must hold (constructor re-validates).
+    CSRGraph(g.indptr, g.indices)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=60
+    )
+)
+def test_edge_list_roundtrip_fuzz(tmp_path_factory, pairs):
+    from repro.graph.build import from_edge_list
+    from repro.graph.io import write_edge_list
+
+    g = from_edge_list(pairs)
+    if g.num_vertices == 0:
+        return
+    path = tmp_path_factory.mktemp("fuzz") / "g.el"
+    write_edge_list(g, path)
+    assert read_edge_list(path, num_vertices=g.num_vertices) == g
+
+
+# ----------------------------------------------------------- metis fuzz
+@settings(max_examples=150, deadline=None)
+@given(text=st.text(alphabet="0123456789 \n%x", max_size=150))
+def test_metis_fuzz_never_crashes(text):
+    try:
+        g = read_metis(io.StringIO(text))
+    except ReproError:
+        return
+    CSRGraph(g.indptr, g.indices)
+
+
+# ---------------------------------------------------------- npz failure
+def test_npz_wrong_contents(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez_compressed(path, foo=np.array([1]))
+    with pytest.raises(GraphFormatError):
+        load_npz(path)
+
+
+def test_npz_truncated_file(tmp_path):
+    path = tmp_path / "trunc.npz"
+    from repro.graph.generators import complete_graph
+    from repro.graph.io import save_npz
+
+    save_npz(complete_graph(5), path)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(Exception):
+        load_npz(path)
+
+
+def test_npz_inconsistent_arrays(tmp_path):
+    path = tmp_path / "bad2.npz"
+    np.savez_compressed(
+        path,
+        indptr=np.array([0, 5]),  # claims 5 entries
+        indices=np.array([0]),
+        directed=np.array(False),
+    )
+    with pytest.raises(GraphFormatError):
+        CSRGraph(**{
+            "indptr": np.load(path)["indptr"],
+            "indices": np.load(path)["indices"],
+        })

@@ -1,0 +1,213 @@
+"""Generators: closed forms, determinism, parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import (
+    chung_lu,
+    complete_graph,
+    complete_multipartite,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    overlay,
+    path_graph,
+    planted_cliques,
+    power_law_degrees,
+    rmat,
+    star_graph,
+    turan_graph,
+    attach_assortative_hub,
+)
+from repro.graph.generators.planted import clique_edges
+
+
+# ---------------------------------------------------------------- classic
+def test_complete_graph_edges():
+    assert complete_graph(7).num_edges == 21
+
+
+def test_complete_graph_zero_and_one():
+    assert complete_graph(0).num_vertices == 0
+    assert complete_graph(1).num_edges == 0
+
+
+def test_path_and_cycle():
+    assert path_graph(5).num_edges == 4
+    assert cycle_graph(5).num_edges == 5
+    with pytest.raises(GraphFormatError):
+        cycle_graph(2)
+
+
+def test_star():
+    g = star_graph(7)
+    assert g.num_vertices == 8
+    assert g.degree(0) == 7
+
+
+def test_turan_is_clique_free():
+    from repro.counting import brute_force_count
+
+    t = turan_graph(10, 3)
+    assert brute_force_count(t, 4) == 0
+    assert brute_force_count(t, 3) > 0
+
+
+def test_multipartite_part_isolation():
+    g = complete_multipartite([2, 3])
+    assert not g.has_edge(0, 1)  # same part
+    assert g.has_edge(0, 2)
+
+
+def test_multipartite_edge_count():
+    # K_{2,3}: 6 edges.
+    assert complete_multipartite([2, 3]).num_edges == 6
+
+
+def test_erdos_renyi_bounds_and_determinism():
+    a = erdos_renyi(50, 0.2, seed=5)
+    b = erdos_renyi(50, 0.2, seed=5)
+    c = erdos_renyi(50, 0.2, seed=6)
+    assert a == b
+    assert a != c
+    with pytest.raises(GraphFormatError):
+        erdos_renyi(10, 1.5)
+    assert erdos_renyi(10, 0.0).num_edges == 0
+    assert erdos_renyi(6, 1.0) == complete_graph(6)
+
+
+# ------------------------------------------------------------------ rmat
+def test_rmat_size_and_determinism():
+    g = rmat(7, 4.0, seed=1)
+    assert g.num_vertices == 128
+    assert g == rmat(7, 4.0, seed=1)
+
+
+def test_rmat_invalid_probs():
+    with pytest.raises(GraphFormatError):
+        rmat(4, 4.0, a=0.9, b=0.9, c=0.9)
+    with pytest.raises(GraphFormatError):
+        rmat(-1)
+
+
+def test_rmat_skew():
+    g = rmat(9, 8.0, seed=2)
+    # R-MAT produces a heavy tail: max degree far above average.
+    assert g.max_degree > 4 * g.average_degree
+
+
+# -------------------------------------------------------------- chung-lu
+def test_power_law_degrees_range():
+    w = power_law_degrees(1000, 2.5, 2.0, 50.0, seed=0)
+    assert w.min() >= 2.0 and w.max() <= 50.0
+
+
+def test_power_law_validation():
+    with pytest.raises(GraphFormatError):
+        power_law_degrees(10, 0.9)
+    with pytest.raises(GraphFormatError):
+        power_law_degrees(10, 2.5, 5.0, 1.0)
+    with pytest.raises(GraphFormatError):
+        power_law_degrees(-1, 2.5)
+
+
+def test_chung_lu_matches_weights_roughly():
+    w = np.full(400, 10.0)
+    g = chung_lu(w, seed=7)
+    assert 3.0 < g.average_degree < 12.0
+
+
+def test_chung_lu_validation():
+    with pytest.raises(GraphFormatError):
+        chung_lu(np.array([-1.0, 2.0]))
+    with pytest.raises(GraphFormatError):
+        chung_lu(np.zeros((2, 2)))
+    assert chung_lu(np.zeros(5)).num_edges == 0
+
+
+# --------------------------------------------------------------- planted
+def test_clique_edges_count():
+    assert clique_edges(np.array([3, 5, 9])).shape == (3, 2)
+
+
+def test_planted_cliques_present():
+    from repro.graph.build import from_edge_array
+    from repro.counting import brute_force_count
+
+    edges = planted_cliques(30, [5], seed=1)
+    g = from_edge_array(edges, num_vertices=30)
+    assert brute_force_count(g, 5) == 1
+
+
+def test_planted_cliques_disjoint_without_overlap():
+    edges = planted_cliques(100, [5, 5], seed=2, overlap=0.0)
+    from repro.graph.build import from_edge_array
+
+    g = from_edge_array(edges, num_vertices=100)
+    assert g.num_edges == 20  # two disjoint K5s
+
+
+def test_planted_cliques_overlap_shares_vertices():
+    edges = planted_cliques(100, [8, 8], seed=3, overlap=1.0)
+    used = np.unique(edges)
+    assert used.size < 16  # full overlap reuses members
+
+
+def test_planted_cliques_validation():
+    with pytest.raises(GraphFormatError):
+        planted_cliques(10, [0])
+    with pytest.raises(GraphFormatError):
+        planted_cliques(10, [5], overlap=2.0)
+    with pytest.raises(GraphFormatError):
+        planted_cliques(3, [5])
+
+
+def test_planted_cliques_pool_restriction():
+    pool = np.arange(10, dtype=np.int64)
+    edges = planted_cliques(100, [6, 6], seed=4, overlap=0.0, pool=pool)
+    assert np.unique(edges).max() < 10
+
+
+# ---------------------------------------------------------------- overlay
+def test_overlay_union():
+    a = np.array([[0, 1]])
+    b = np.array([[1, 2], [0, 1]])
+    g = overlay(3, a, b)
+    assert g.num_edges == 2
+
+
+def test_overlay_accepts_graphs():
+    g = overlay(4, complete_graph(3), np.array([[2, 3]]))
+    assert g.num_edges == 4
+
+
+def test_overlay_empty():
+    assert overlay(3).num_edges == 0
+
+
+def test_overlay_bad_shape():
+    with pytest.raises(GraphFormatError):
+        overlay(3, np.array([[1, 2, 3]]))
+
+
+# ------------------------------------------------------------------- hub
+def test_attach_assortative_hub_connects_top_two():
+    g = erdos_renyi(50, 0.1, seed=8)
+    order = np.argsort(g.degrees)[::-1]
+    out = attach_assortative_hub(g, assortative=True, common_targets=0.5, seed=1)
+    hub, second = int(order[0]), int(order[1])
+    assert out.has_edge(hub, second)
+
+
+def test_attach_disassortative_hub_adds_leaves():
+    g = erdos_renyi(50, 0.1, seed=8)
+    out = attach_assortative_hub(g, assortative=False, hub_extra=20, seed=1)
+    assert out.num_vertices == 70
+    # new leaves have degree 1
+    assert all(out.degree(v) == 1 for v in range(50, 70))
+
+
+def test_attach_hub_tiny_graph_noop():
+    g = empty_graph(1)
+    assert attach_assortative_hub(g, assortative=True) is g

@@ -1,0 +1,47 @@
+"""Bench harness formatting helpers."""
+
+import pytest
+
+from repro.bench.harness import Table, fmt_count, fmt_seconds, geometric_mean
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped
+
+
+def test_fmt_seconds_ranges():
+    assert fmt_seconds(None) == "-"
+    assert fmt_seconds(1234.5) == "1,234"
+    assert fmt_seconds(12.34) == "12.3"
+    assert fmt_seconds(0.1234) == "0.12"
+    assert fmt_seconds(0.00012) == "0.0001"
+
+
+def test_fmt_count():
+    assert fmt_count(None) == "-"
+    assert fmt_count(1234567) == "1,234,567"
+
+
+def test_table_render_and_rows():
+    t = Table("demo", ["a", "b"])
+    t.add(1, "x")
+    t.add(22, "yy")
+    t.note("a note")
+    out = t.render()
+    assert "demo" in out and "a note" in out
+    assert "22" in out
+
+
+def test_table_rejects_bad_row():
+    t = Table("demo", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)
+
+
+def test_table_show_prints(capsys):
+    t = Table("demo", ["col"])
+    t.add("v")
+    t.show()
+    assert "demo" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""The Sec. III-E order-selecting heuristic."""
+
+import pytest
+
+from repro.graph.generators import erdos_renyi, star_graph
+from repro.ordering import (
+    HeuristicConfig,
+    OrderingChoice,
+    compute_ordering,
+    select_ordering,
+)
+
+
+def test_small_graph_always_degree():
+    # Below the size gate the heuristic picks degree regardless of
+    # assortativity (the paper's DBLP case).
+    g = erdos_renyi(100, 0.3, seed=1)
+    d = select_ordering(g)
+    assert d.choice is OrderingChoice.DEGREE
+    assert not d.large_enough
+    assert "size threshold" in d.reason
+
+
+def test_large_assortative_graph_picks_core():
+    g = erdos_renyi(200, 0.3, seed=2)
+    d = select_ordering(g, effective_num_vertices=5e6)
+    # Dense ER: hub and its best neighbor share many neighbors.
+    assert d.common_signal
+    assert d.choice is OrderingChoice.APPROX_CORE
+    assert "core approximation" in d.reason
+
+
+def test_large_disassortative_graph_picks_degree():
+    g = star_graph(300)
+    d = select_ordering(g, effective_num_vertices=5e6)
+    assert d.choice is OrderingChoice.DEGREE
+    assert not d.a_signal and not d.common_signal
+    assert "no assortativity" in d.reason
+
+
+def test_a_signal_threshold():
+    g = erdos_renyi(200, 0.3, seed=3)
+    # With a tiny effective |V|, a/|V| is large -> signal fires.
+    loose = HeuristicConfig(common_fraction_threshold=2.0, min_vertices=10)
+    d = select_ordering(g, loose, effective_num_vertices=200)
+    assert d.a_signal
+    assert d.choice is OrderingChoice.APPROX_CORE
+
+
+def test_config_thresholds_respected():
+    g = erdos_renyi(200, 0.3, seed=4)
+    strict = HeuristicConfig(
+        a_over_v_threshold=10.0, common_fraction_threshold=1.1, min_vertices=10
+    )
+    d = select_ordering(g, strict, effective_num_vertices=1e9)
+    assert d.choice is OrderingChoice.DEGREE
+
+
+def test_compute_ordering_from_decision():
+    g = erdos_renyi(60, 0.2, seed=5)
+    d = select_ordering(g)
+    o = compute_ordering(g, d)
+    assert o.name == "degree"
+
+
+def test_compute_ordering_from_choice_enum():
+    g = erdos_renyi(60, 0.2, seed=5)
+    o = compute_ordering(g, OrderingChoice.APPROX_CORE)
+    assert o.name.startswith("approx_core")
+
+
+def test_compute_ordering_uses_config_eps():
+    g = erdos_renyi(60, 0.2, seed=5)
+    cfg = HeuristicConfig(eps=0.1)
+    o = compute_ordering(g, OrderingChoice.APPROX_CORE, cfg)
+    assert "0.1" in o.name

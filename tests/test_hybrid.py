@@ -1,0 +1,59 @@
+"""The hybrid enumeration/pivoting counter (paper Sec. VI-H)."""
+
+import pytest
+
+from repro.core import PivotScaleConfig, count_cliques
+from repro.core.hybrid import DEFAULT_SWITCH_K, count_cliques_hybrid
+from repro.errors import CountingError
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(60, 0.3, seed=71)
+
+
+def test_switch_point_routes_algorithms(graph):
+    small = count_cliques_hybrid(graph, 4)
+    assert small.algorithm == "enumeration"
+    big = count_cliques_hybrid(graph, DEFAULT_SWITCH_K)
+    assert big.algorithm == "pivoting"
+
+
+def test_counts_match_exact(graph):
+    for k in (3, 5, 8, 9):
+        h = count_cliques_hybrid(graph, k)
+        assert h.count == count_cliques(graph, k).count
+
+
+def test_custom_switch(graph):
+    r = count_cliques_hybrid(graph, 5, switch_k=3)
+    assert r.algorithm == "pivoting"
+    r = count_cliques_hybrid(graph, 5, switch_k=6)
+    assert r.algorithm == "enumeration"
+
+
+def test_model_seconds_positive(graph):
+    for k in (4, 8):
+        assert count_cliques_hybrid(graph, k).model_seconds > 0
+
+
+def test_config_forwarded(graph):
+    cfg = PivotScaleConfig(structure="sparse", threads=8)
+    r = count_cliques_hybrid(graph, 4, config=cfg)
+    assert r.counting.structure == "sparse"
+
+
+def test_validation(graph):
+    with pytest.raises(CountingError):
+        count_cliques_hybrid(graph, 0)
+    with pytest.raises(CountingError):
+        count_cliques_hybrid(graph, 3, switch_k=0)
+
+
+def test_hybrid_picks_cheaper_regime(graph):
+    """At small k the enumeration path should be modeled no slower
+    than pivoting would be (the reason the hybrid exists)."""
+    enum = count_cliques_hybrid(graph, 3)
+    piv = count_cliques_hybrid(graph, 3, switch_k=1)
+    assert enum.model_seconds <= piv.model_seconds * 1.5

@@ -1,0 +1,125 @@
+"""Cross-module integration tests on the dataset analogs.
+
+Each test wires several subsystems together the way a downstream user
+would, and checks cross-implementation consistency invariants.
+"""
+
+import math
+
+import pytest
+
+from repro import PivotScaleConfig, count_cliques
+from repro.core.hybrid import count_cliques_hybrid
+from repro.counting import (
+    count_all_sizes,
+    count_kcliques,
+    count_kcliques_enumeration,
+    count_maximal_cliques,
+    maximum_clique,
+    per_vertex_counts,
+)
+from repro.counting.listing import list_kcliques
+from repro.datasets import dataset_names, get_spec, load
+from repro.ordering import core_ordering, select_ordering
+from repro.parallel import count_kcliques_processes
+
+SMALL = ("dblp", "skitter", "baidu", "wikitalk")
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_pipeline_matches_raw_engine(name):
+    g = load(name)
+    spec = get_spec(name)
+    cfg = PivotScaleConfig(effective_num_vertices=spec.effective_num_vertices)
+    r = count_cliques(g, 5, cfg)
+    raw = count_kcliques(g, 5, core_ordering(g)).count
+    assert r.count == raw
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_enumeration_agrees_with_pivoting(name):
+    g = load(name)
+    o = core_ordering(g)
+    assert (
+        count_kcliques_enumeration(g, 4, o).count
+        == count_kcliques(g, 4, o).count
+    )
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_hybrid_agrees(name):
+    g = load(name)
+    for k in (3, 8):
+        assert count_cliques_hybrid(g, k).count == count_cliques(g, k).count
+
+
+@pytest.mark.parametrize("name", ("dblp", "baidu"))
+def test_process_pool_agrees(name):
+    g = load(name)
+    o = core_ordering(g)
+    assert count_kcliques_processes(g, 4, o, processes=2) == (
+        count_kcliques(g, 4, o).count
+    )
+
+
+@pytest.mark.parametrize("name", ("skitter", "wikitalk"))
+def test_maximum_clique_consistent_with_distribution(name):
+    g = load(name)
+    dist = count_all_sizes(g, core_ordering(g)).all_counts
+    kmax = len(dist) - 1
+    assert len(maximum_clique(g)) == kmax
+    assert dist[kmax] >= 1
+
+
+def test_maximal_count_upper_bounds_leaves():
+    g = load("baidu")
+    # Every maximal clique corresponds to at least one SCT leaf.
+    r = count_all_sizes(g, core_ordering(g))
+    assert count_maximal_cliques(g) <= r.counters.leaves
+
+
+@pytest.mark.parametrize("name", ("dblp", "baidu"))
+def test_per_vertex_identity_at_scale(name):
+    g = load(name)
+    o = core_ordering(g)
+    k = 4
+    per = per_vertex_counts(g, k, o)
+    assert sum(per) == k * count_kcliques(g, k, o).count
+
+
+def test_listing_matches_count_on_dataset():
+    g = load("wikitalk")
+    o = core_ordering(g)
+    assert len(list(list_kcliques(g, 4, o))) == count_kcliques(g, 4, o).count
+
+
+def test_all_datasets_full_pipeline_smoke():
+    for name in dataset_names():
+        g = load(name)
+        spec = get_spec(name)
+        cfg = PivotScaleConfig(
+            effective_num_vertices=spec.effective_num_vertices
+        )
+        r = count_cliques(g, 4, cfg)
+        assert r.count >= 0
+        assert r.total_model_seconds > 0
+        d = select_ordering(
+            g, effective_num_vertices=spec.effective_num_vertices
+        )
+        assert d.choice.value in ("approx_core", "degree")
+
+
+def test_structures_and_orderings_cross_product():
+    g = load("dblp")
+    counts = set()
+    from repro.ordering import (
+        approx_core_ordering,
+        degree_ordering,
+        kcore_ordering,
+    )
+
+    for o in (core_ordering(g), degree_ordering(g),
+              approx_core_ordering(g, -0.5), kcore_ordering(g)):
+        for s in ("dense", "sparse", "remap"):
+            counts.add(count_kcliques(g, 5, o, structure=s).count)
+    assert len(counts) == 1

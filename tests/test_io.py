@@ -1,0 +1,122 @@
+"""Edge-list and npz serialization round trips."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import erdos_renyi, complete_graph
+from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
+from repro.ordering import core_ordering, directionalize
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = erdos_renyi(40, 0.15, seed=3)
+    path = tmp_path / "graph.el"
+    write_edge_list(g, path)
+    back = read_edge_list(path)
+    assert back == g
+
+
+def test_read_edge_list_from_stream():
+    g = read_edge_list(io.StringIO("# comment\n% konect header\n0 1\n1 2\n"))
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+
+
+def test_read_edge_list_ignores_extra_fields():
+    g = read_edge_list(io.StringIO("0 1 42 1999\n"))
+    assert g.num_edges == 1
+
+
+def test_read_edge_list_blank_lines():
+    g = read_edge_list(io.StringIO("\n0 1\n\n"))
+    assert g.num_edges == 1
+
+
+def test_read_edge_list_bad_line():
+    with pytest.raises(GraphFormatError, match="expected"):
+        read_edge_list(io.StringIO("0\n"))
+
+
+def test_read_edge_list_non_integer():
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_edge_list(io.StringIO("a b\n"))
+
+
+def test_read_edge_list_num_vertices():
+    g = read_edge_list(io.StringIO("0 1\n"), num_vertices=5)
+    assert g.num_vertices == 5
+
+
+def test_npz_roundtrip(tmp_path):
+    g = erdos_renyi(30, 0.2, seed=4)
+    path = tmp_path / "graph.npz"
+    save_npz(g, path)
+    assert load_npz(path) == g
+
+
+def test_npz_roundtrip_dag(tmp_path):
+    g = complete_graph(5)
+    dag = directionalize(g, core_ordering(g))
+    path = tmp_path / "dag.npz"
+    save_npz(dag, path)
+    back = load_npz(path)
+    assert back.directed
+    assert back == dag
+
+
+def test_npz_missing_key(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "bad.npz"
+    np.savez_compressed(path, indptr=np.array([0]))
+    with pytest.raises(GraphFormatError):
+        load_npz(path)
+
+
+def test_metis_roundtrip(tmp_path):
+    from repro.graph.io import read_metis, write_metis
+
+    g = erdos_renyi(40, 0.15, seed=6)
+    path = tmp_path / "g.metis"
+    write_metis(g, path)
+    assert read_metis(path) == g
+
+
+def test_metis_comments_and_stream():
+    import io as _io
+
+    from repro.graph.io import read_metis
+
+    g = read_metis(_io.StringIO("% comment\n3 2\n2 3\n1\n1\n"))
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+
+
+def test_metis_errors():
+    import io as _io
+
+    from repro.graph.io import read_metis
+
+    with pytest.raises(GraphFormatError, match="empty"):
+        read_metis(_io.StringIO("% only comments\n"))
+    with pytest.raises(GraphFormatError, match="header"):
+        read_metis(_io.StringIO("3\n"))
+    with pytest.raises(GraphFormatError, match="adjacency lines"):
+        read_metis(_io.StringIO("3 1\n2\n1\n"))
+    with pytest.raises(GraphFormatError, match="out of range"):
+        read_metis(_io.StringIO("2 1\n5\n1\n"))
+    with pytest.raises(GraphFormatError, match="claims"):
+        read_metis(_io.StringIO("3 9\n2\n1 3\n2\n"))
+    with pytest.raises(GraphFormatError, match="non-integer"):
+        read_metis(_io.StringIO("2 1\nx\n1\n"))
+
+
+def test_metis_rejects_dag(tmp_path):
+    from repro.graph.io import write_metis
+
+    g = erdos_renyi(10, 0.3, seed=7)
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(GraphFormatError):
+        write_metis(dag, tmp_path / "d.metis")

@@ -1,0 +1,76 @@
+"""k-clique listing."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.counting.listing import list_kcliques
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import core_ordering, degree_ordering, directionalize
+
+
+def _brute(g, k):
+    adj = g.adjacency_sets()
+    return sorted(
+        s for s in combinations(range(g.num_vertices), k)
+        if all(b in adj[a] for a, b in combinations(s, 2))
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_brute_force(seed):
+    g = erdos_renyi(14, 0.5, seed=seed)
+    for k in range(1, 6):
+        assert sorted(list_kcliques(g, k)) == _brute(g, k)
+
+
+def test_count_consistency():
+    g = erdos_renyi(30, 0.3, seed=7)
+    o = core_ordering(g)
+    for k in (3, 4):
+        assert len(list(list_kcliques(g, k, o))) == (
+            count_kcliques(g, k, o).count
+        )
+
+
+def test_k1_and_k2():
+    g = star_graph(4)
+    assert sorted(list_kcliques(g, 1)) == [(v,) for v in range(5)]
+    assert sorted(list_kcliques(g, 2)) == [(0, v) for v in range(1, 5)]
+
+
+def test_tuples_sorted_and_unique():
+    g = erdos_renyi(20, 0.4, seed=8)
+    seen = set()
+    for c in list_kcliques(g, 3):
+        assert c == tuple(sorted(c))
+        assert c not in seen
+        seen.add(c)
+
+
+def test_limit():
+    g = complete_graph(10)
+    assert len(list(list_kcliques(g, 4, limit=7))) == 7
+    assert list(list_kcliques(g, 4, limit=0)) == []
+    assert len(list(list_kcliques(g, 1, limit=3))) == 3
+    assert len(list(list_kcliques(g, 2, limit=3))) == 3
+
+
+def test_ordering_invariance():
+    g = erdos_renyi(18, 0.45, seed=9)
+    a = sorted(list_kcliques(g, 4, core_ordering(g)))
+    b = sorted(list_kcliques(g, 4, degree_ordering(g)))
+    assert a == b
+
+
+def test_validation():
+    g = complete_graph(4)
+    with pytest.raises(CountingError):
+        list(list_kcliques(g, 0))
+    with pytest.raises(CountingError):
+        list(list_kcliques(g, 3, limit=-1))
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        list(list_kcliques(dag, 3))

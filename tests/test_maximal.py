@@ -1,0 +1,102 @@
+"""Maximal-clique enumeration (Bron-Kerbosch with pivoting)."""
+
+import pytest
+
+from repro.counting.maximal import (
+    count_maximal_cliques,
+    maximal_cliques,
+    maximum_clique,
+)
+from repro.errors import CountingError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+    turan_graph,
+)
+from repro.ordering import core_ordering, degree_ordering, directionalize
+
+
+def _nx_maximal(g):
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.num_vertices))
+    nxg.add_edges_from(g.edges())
+    return sorted(sorted(c) for c in nx.find_cliques(nxg))
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("p", [0.2, 0.45])
+def test_matches_networkx(seed, p):
+    g = erdos_renyi(25, p, seed=seed)
+    assert sorted(maximal_cliques(g)) == _nx_maximal(g)
+
+
+def test_complete_graph_single_maximal():
+    g = complete_graph(8)
+    assert count_maximal_cliques(g) == 1
+    assert maximum_clique(g) == list(range(8))
+
+
+def test_star_maximal_edges():
+    g = star_graph(5)
+    assert count_maximal_cliques(g) == 5
+    assert len(maximum_clique(g)) == 2
+
+
+def test_path_maximal():
+    g = path_graph(5)
+    assert count_maximal_cliques(g) == 4
+
+
+def test_isolated_vertices_are_maximal():
+    assert sorted(maximal_cliques(empty_graph(3))) == [[0], [1], [2]]
+
+
+def test_turan_count():
+    # T(n, r) with equal parts s: maximal cliques = s^r.
+    g = turan_graph(9, 3)
+    assert count_maximal_cliques(g) == 27
+
+
+def test_cliques_are_distinct_and_maximal():
+    g = erdos_renyi(30, 0.3, seed=42)
+    adj = g.adjacency_sets()
+    seen = set()
+    for c in maximal_cliques(g):
+        key = tuple(c)
+        assert key not in seen
+        seen.add(key)
+        # clique property
+        for i, u in enumerate(c):
+            for v in c[i + 1 :]:
+                assert v in adj[u]
+        # maximality
+        members = set(c)
+        for w in range(g.num_vertices):
+            if w not in members:
+                assert not members <= adj[w]
+
+
+def test_accepts_custom_ordering():
+    g = erdos_renyi(20, 0.4, seed=3)
+    a = sorted(maximal_cliques(g, core_ordering(g)))
+    b = sorted(maximal_cliques(g, degree_ordering(g)))
+    assert a == b
+
+
+def test_rejects_directed():
+    g = complete_graph(4)
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        list(maximal_cliques(dag))
+
+
+def test_pendant_triangle():
+    g = from_edge_list([(0, 1), (1, 2), (0, 2), (0, 3)])
+    cliques = sorted(maximal_cliques(g))
+    assert cliques == [[0, 1, 2], [0, 3]]

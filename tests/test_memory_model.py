@@ -1,0 +1,67 @@
+"""Process-memory model (Sec. VI-D)."""
+
+import pytest
+
+from repro.bench.harness import geometric_mean
+from repro.bench.paper_data import TABLE1, TABLE3
+from repro.errors import ParallelModelError
+from repro.perfmodel.memory import memory_reduction, process_memory_bytes
+
+
+def test_dense_grows_with_threads():
+    kw = dict(num_vertices=1e6, num_edges=1e7, structure="dense",
+              max_out_degree=100)
+    m1 = process_memory_bytes(threads=1, **kw)
+    m64 = process_memory_bytes(threads=64, **kw)
+    assert m64 > 10 * m1 / 2  # thread-local indexes dominate
+
+
+def test_remap_nearly_thread_invariant():
+    kw = dict(num_vertices=1e6, num_edges=1e7, structure="remap",
+              max_out_degree=100)
+    m1 = process_memory_bytes(threads=1, **kw)
+    m64 = process_memory_bytes(threads=64, **kw)
+    assert m64 < 1.1 * m1  # the graph dominates
+
+
+def test_reduction_band_matches_paper():
+    """The paper reports 6.63-40.24x reduction, geomean 17.39x."""
+    reductions = []
+    for name, (v, e, _, _) in TABLE1.items():
+        maxout = TABLE3[name]["core"][3]
+        reductions.append(
+            memory_reduction(
+                num_vertices=v * 1e6, num_edges=e * 1e6, threads=64,
+                max_out_degree=maxout,
+            )
+        )
+    gm = geometric_mean(reductions)
+    assert all(2.0 < r < 60.0 for r in reductions)
+    assert 5.0 < gm < 30.0
+
+
+def test_paper_endpoints_order_of_magnitude():
+    """Paper: DBLP dense 811.67 MB, Friendster dense 265.69 GB."""
+    dblp = process_memory_bytes(
+        num_vertices=0.3e6, num_edges=1.1e6, structure="dense",
+        threads=64, max_out_degree=113,
+    )
+    friendster = process_memory_bytes(
+        num_vertices=65.6e6, num_edges=1806.1e6, structure="dense",
+        threads=64, max_out_degree=304,
+    )
+    assert 0.2e9 < dblp < 3e9
+    assert 80e9 < friendster < 800e9
+
+
+def test_validation():
+    with pytest.raises(ParallelModelError):
+        process_memory_bytes(
+            num_vertices=10, num_edges=10, structure="dense",
+            threads=0, max_out_degree=3,
+        )
+    with pytest.raises(ParallelModelError):
+        process_memory_bytes(
+            num_vertices=10, num_edges=10, structure="btree",
+            threads=2, max_out_degree=3,
+        )

@@ -1,0 +1,224 @@
+"""The five ordering algorithms: quality, structure, and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.graph.generators import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.ordering import (
+    approx_core_ordering,
+    centrality_ordering,
+    core_numbers,
+    core_ordering,
+    degree_ordering,
+    kcore_ordering,
+    max_out_degree,
+)
+from repro.ordering.centrality import eigenvector_scores
+from repro.ordering.kcore import kcore_decomposition
+
+
+@pytest.fixture(scope="module")
+def skew_graph():
+    return rmat(9, 8.0, seed=11)
+
+
+# ------------------------------------------------------------------ core
+def test_core_numbers_match_networkx(skew_graph):
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(skew_graph.num_vertices))
+    nxg.add_edges_from(skew_graph.edges())
+    expected = nx.core_number(nxg)
+    got = core_numbers(skew_graph)
+    assert all(got[v] == expected[v] for v in range(skew_graph.num_vertices))
+
+
+def test_core_ordering_achieves_degeneracy(skew_graph):
+    degeneracy = int(core_numbers(skew_graph).max())
+    assert max_out_degree(skew_graph, core_ordering(skew_graph)) == degeneracy
+
+
+def test_core_ordering_minimal_among_all(skew_graph):
+    """The core ordering provably minimizes the max out-degree."""
+    core_q = max_out_degree(skew_graph, core_ordering(skew_graph))
+    for ordering in (
+        degree_ordering(skew_graph),
+        approx_core_ordering(skew_graph, -0.5),
+        kcore_ordering(skew_graph),
+        centrality_ordering(skew_graph),
+    ):
+        assert max_out_degree(skew_graph, ordering) >= core_q
+
+
+def test_core_ordering_cost_is_sequential(skew_graph):
+    cost = core_ordering(skew_graph).cost
+    assert cost.sequential > 0
+    assert cost.num_rounds == 0
+
+
+def test_core_on_complete_graph():
+    g = complete_graph(6)
+    assert core_numbers(g).tolist() == [5] * 6
+    assert max_out_degree(g, core_ordering(g)) == 5
+
+
+def test_core_on_star():
+    g = star_graph(7)
+    assert core_numbers(g).max() == 1
+    assert max_out_degree(g, core_ordering(g)) == 1
+
+
+def test_core_on_empty():
+    g = empty_graph(4)
+    o = core_ordering(g)
+    assert o.num_vertices == 4
+    assert max_out_degree(g, o) == 0
+
+
+def test_core_on_zero_vertices():
+    g = empty_graph(0)
+    assert core_ordering(g).num_vertices == 0
+
+
+# ---------------------------------------------------------------- degree
+def test_degree_ordering_ranks_by_degree(skew_graph):
+    o = degree_ordering(skew_graph)
+    order = o.order()
+    degs = skew_graph.degrees[order]
+    assert (np.diff(degs) >= 0).all()
+
+
+def test_degree_ordering_one_round(skew_graph):
+    assert degree_ordering(skew_graph).cost.num_rounds == 1
+
+
+# ----------------------------------------------------------- approx core
+def test_approx_core_low_eps_matches_core_quality(skew_graph):
+    core_q = max_out_degree(skew_graph, core_ordering(skew_graph))
+    approx_q = max_out_degree(skew_graph, approx_core_ordering(skew_graph, -0.5))
+    # The paper finds eps = -0.5 typically matches the core ordering.
+    assert approx_q <= int(core_q * 1.15) + 1
+
+
+def test_approx_core_huge_eps_equals_degree(skew_graph):
+    """eps -> inf removes everything in round one: the degree ordering."""
+    approx = approx_core_ordering(skew_graph, 50_000.0)
+    degree = degree_ordering(skew_graph)
+    assert approx.cost.num_rounds == 1
+    assert np.array_equal(approx.rank, degree.rank)
+
+
+def test_approx_core_round_count_monotone_in_eps(skew_graph):
+    rounds = [
+        approx_core_ordering(skew_graph, eps).cost.num_rounds
+        for eps in (-0.5, 0.1, 1.0)
+    ]
+    assert rounds[0] >= rounds[1] >= rounds[2]
+
+
+def test_approx_core_regular_graph_fallback():
+    # Complete graph: all degrees equal; threshold (1-0.5)*delta selects
+    # nobody, so the min-degree fallback must fire and still terminate.
+    g = complete_graph(8)
+    o = approx_core_ordering(g, -0.5)
+    assert o.num_vertices == 8
+    assert max_out_degree(g, o) == 7
+
+
+def test_approx_core_eps_validation():
+    with pytest.raises(OrderingError):
+        approx_core_ordering(complete_graph(3), -1.0)
+
+
+def test_approx_core_levels_monotone_with_rank(skew_graph):
+    o = approx_core_ordering(skew_graph, -0.3)
+    order = o.order()
+    levels = o.levels[order]
+    assert (np.diff(levels) >= 0).all()
+
+
+def test_approx_core_empty_graph():
+    o = approx_core_ordering(empty_graph(3), -0.5)
+    assert o.num_vertices == 3
+    assert o.cost.num_rounds == 1  # everything removed at once
+
+
+# ---------------------------------------------------------------- k-core
+def test_kcore_decomposition_matches_core_numbers(skew_graph):
+    core, rounds = kcore_decomposition(skew_graph)
+    assert np.array_equal(core, core_numbers(skew_graph))
+    assert len(rounds) >= 1
+
+
+def test_kcore_ordering_quality_at_least_approx(skew_graph):
+    """The paper observes parallel k-core is consistently worse than the
+    low-eps approximation (fewer distinct levels)."""
+    kq = max_out_degree(skew_graph, kcore_ordering(skew_graph))
+    aq = max_out_degree(skew_graph, approx_core_ordering(skew_graph, -0.5))
+    assert kq >= aq
+
+
+def test_kcore_on_path():
+    g = path_graph(5)
+    core, _ = kcore_decomposition(g)
+    assert core.max() == 1
+
+
+# ------------------------------------------------------------ centrality
+def test_eigenvector_scores_star_center_highest():
+    g = star_graph(6)
+    scores = eigenvector_scores(g)
+    assert scores[0] == scores.max()
+
+
+def test_eigenvector_scores_normalized():
+    g = erdos_renyi(40, 0.2, seed=12)
+    s = eigenvector_scores(g, iterations=5)
+    assert s.max() == pytest.approx(1.0)
+    assert s.min() >= 0.0
+
+
+def test_centrality_iterations_validation():
+    with pytest.raises(OrderingError):
+        centrality_ordering(complete_graph(3), iterations=0)
+
+
+def test_centrality_quality_between_core_and_degree(skew_graph):
+    """Fig. 5: EC quality lies between core and degree orderings."""
+    cq = max_out_degree(skew_graph, core_ordering(skew_graph))
+    dq = max_out_degree(skew_graph, degree_ordering(skew_graph))
+    eq = max_out_degree(skew_graph, centrality_ordering(skew_graph))
+    assert cq <= eq <= max(dq, eq)  # never better than core
+    assert eq <= dq + max(2, dq // 5)  # close to or better than degree
+
+
+def test_centrality_rounds_count():
+    g = erdos_renyi(30, 0.2, seed=13)
+    o = centrality_ordering(g, iterations=3)
+    assert o.cost.num_rounds == 4  # 3 SpMV rounds + 1 sort round
+
+
+# ------------------------------------------------------------ all orderings
+@pytest.mark.parametrize(
+    "factory",
+    [
+        core_ordering,
+        degree_ordering,
+        lambda g: approx_core_ordering(g, -0.5),
+        kcore_ordering,
+        centrality_ordering,
+    ],
+    ids=["core", "degree", "approx", "kcore", "centrality"],
+)
+def test_all_orderings_are_permutations(factory, skew_graph):
+    o = factory(skew_graph)
+    assert np.array_equal(np.sort(o.rank), np.arange(skew_graph.num_vertices))

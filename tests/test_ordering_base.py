@@ -1,0 +1,61 @@
+"""Ordering base types: rank construction, validation, cost profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OrderingError
+from repro.ordering.base import Ordering, ParallelCost, rank_from_keys
+
+
+def test_rank_from_keys_single_key():
+    rank = rank_from_keys(np.array([5, 1, 3]))
+    assert rank.tolist() == [2, 0, 1]
+
+
+def test_rank_from_keys_tiebreak_by_id():
+    rank = rank_from_keys(np.array([1, 1, 1]))
+    assert rank.tolist() == [0, 1, 2]
+
+
+def test_rank_from_keys_secondary_key():
+    primary = np.array([1, 1, 0])
+    secondary = np.array([9, 2, 5])
+    rank = rank_from_keys(primary, secondary)
+    # vertex 2 first (primary 0), then vertex 1 (secondary 2), then 0.
+    assert rank.tolist() == [2, 1, 0]
+
+
+def test_rank_from_keys_validation():
+    with pytest.raises(OrderingError):
+        rank_from_keys()
+    with pytest.raises(OrderingError):
+        rank_from_keys(np.array([1, 2]), np.array([1]))
+
+
+def test_ordering_requires_permutation():
+    with pytest.raises(OrderingError):
+        Ordering(name="bad", rank=np.array([0, 0, 1]))
+
+
+def test_ordering_order_inverse():
+    o = Ordering(name="x", rank=np.array([2, 0, 1]))
+    assert o.order().tolist() == [1, 2, 0]
+    assert o.num_vertices == 3
+
+
+def test_ordering_rank_read_only():
+    o = Ordering(name="x", rank=np.array([0, 1]))
+    with pytest.raises(ValueError):
+        o.rank[0] = 5
+
+
+def test_empty_ordering():
+    o = Ordering(name="empty", rank=np.array([], dtype=np.int64))
+    assert o.num_vertices == 0
+
+
+def test_parallel_cost_totals():
+    c = ParallelCost(rounds=(10.0, 20.0), sequential=5.0)
+    assert c.total_work == 35.0
+    assert c.num_rounds == 2
+    assert ParallelCost().total_work == 0.0

@@ -1,0 +1,82 @@
+"""Per-edge k-clique counts."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.counting.peredge import per_edge_counts
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import core_ordering, directionalize
+
+
+def _brute(g, k):
+    adj = g.adjacency_sets()
+    per = {}
+    for sub in combinations(range(g.num_vertices), k):
+        if all(b in adj[a] for a, b in combinations(sub, 2)):
+            for a, b in combinations(sub, 2):
+                per[(a, b)] = per.get((a, b), 0) + 1
+    return per
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_brute_force(seed):
+    g = erdos_renyi(13, 0.5, seed=seed)
+    o = core_ordering(g)
+    for k in (2, 3, 4, 5):
+        assert per_edge_counts(g, k, o) == _brute(g, k)
+
+
+def test_sum_identity():
+    g = erdos_renyi(25, 0.35, seed=9)
+    o = core_ordering(g)
+    for k in (3, 4):
+        per = per_edge_counts(g, k, o)
+        total = count_kcliques(g, k, o).count
+        assert sum(per.values()) == math.comb(k, 2) * total
+
+
+def test_k2_every_edge_once():
+    g = erdos_renyi(15, 0.4, seed=2)
+    per = per_edge_counts(g, 2, core_ordering(g))
+    assert len(per) == g.num_edges
+    assert set(per.values()) == {1}
+
+
+def test_complete_graph_uniform():
+    g = complete_graph(6)
+    per = per_edge_counts(g, 4, core_ordering(g))
+    assert set(per.values()) == {math.comb(4, 2)}
+
+
+def test_star_no_triangles():
+    g = star_graph(5)
+    assert per_edge_counts(g, 3, core_ordering(g)) == {}
+
+
+def test_keys_normalized():
+    g = complete_graph(4)
+    per = per_edge_counts(g, 3, core_ordering(g))
+    assert all(u < v for u, v in per)
+
+
+def test_structures_agree():
+    g = erdos_renyi(18, 0.4, seed=4)
+    o = core_ordering(g)
+    ref = per_edge_counts(g, 3, o)
+    for s in ("dense", "sparse"):
+        assert per_edge_counts(g, 3, o, structure=s) == ref
+
+
+def test_validation():
+    g = complete_graph(4)
+    with pytest.raises(CountingError):
+        per_edge_counts(g, 1, core_ordering(g))
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_edge_counts(dag, 3, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_edge_counts(g, 3, g)

@@ -1,0 +1,206 @@
+"""Machine specs, cache model, cost model, GPU model."""
+
+import pytest
+
+from repro.counting.counters import Counters
+from repro.errors import ParallelModelError
+from repro.parallel.machine import EPYC_9554, GPU_A100, GPU_V100, GPUSpec, MachineSpec
+from repro.perfmodel.cache import CacheModel, structure_index_bytes
+from repro.perfmodel.cost import CostModel
+from repro.perfmodel.gpu import gpu_pivot_time
+
+
+# ---------------------------------------------------------------- machine
+def test_epyc_defaults_match_paper():
+    assert EPYC_9554.cores == 64
+    assert EPYC_9554.freq_ghz == pytest.approx(3.1)
+    assert EPYC_9554.llc_bytes == 256 * 1024 * 1024
+
+
+def test_machine_validation():
+    with pytest.raises(ParallelModelError):
+        MachineSpec(name="bad", cores=0)
+    with pytest.raises(ParallelModelError):
+        MachineSpec(name="bad", freq_ghz=0)
+    with pytest.raises(ParallelModelError):
+        GPUSpec(name="bad", warps=0, warp_rate_gops=1.0)
+
+
+def test_seconds_for():
+    m = MachineSpec(name="m", freq_ghz=1.0)
+    assert m.seconds_for(1e9, 1.0) == pytest.approx(1.0)
+
+
+# ------------------------------------------------------------------ cache
+def test_miss_probability_zero_when_fits():
+    c = CacheModel(llc_bytes=1024)
+    assert c.miss_probability(100, 4) == 0.0
+
+
+def test_miss_probability_monotone_in_threads():
+    c = CacheModel(llc_bytes=1000)
+    probs = [c.miss_probability(100, t) for t in (1, 10, 20, 40, 80)]
+    assert all(a <= b for a, b in zip(probs, probs[1:]))
+    assert probs[-1] > 0.8
+
+
+def test_miss_probability_validation():
+    with pytest.raises(ParallelModelError):
+        CacheModel(llc_bytes=100).miss_probability(10, 0)
+
+
+def test_resident_fraction_complement():
+    c = CacheModel(llc_bytes=1000)
+    assert c.resident_fraction(100, 20) == pytest.approx(
+        1 - c.miss_probability(100, 20)
+    )
+
+
+def test_structure_index_bytes_ordering():
+    nv, d = 1e6, 100
+    dense = structure_index_bytes("dense", nv, d)
+    sparse = structure_index_bytes("sparse", nv, d)
+    remap = structure_index_bytes("remap", nv, d)
+    assert dense > sparse > remap
+    assert dense >= 8 * nv
+
+
+def test_structure_index_bytes_unknown():
+    with pytest.raises(ParallelModelError):
+        structure_index_bytes("btree", 1e6, 10)
+
+
+# ------------------------------------------------------------------- cost
+def _counters(work=1e6):
+    return Counters(
+        function_calls=1000,
+        set_op_words=work * 0.6,
+        index_lookups=work * 0.3,
+        build_words=work * 0.1,
+    )
+
+
+def test_estimate_counting_scales_down_with_threads():
+    model = CostModel(EPYC_9554)
+    secs = [
+        model.estimate_counting(
+            _counters(),
+            threads=t,
+            structure="remap",
+            max_out_degree=100,
+            effective_num_vertices=1e6,
+        ).seconds
+        for t in (1, 2, 4, 8, 16, 32, 64)
+    ]
+    assert all(a > b for a, b in zip(secs, secs[1:]))
+    # remap: near-linear scaling
+    assert secs[0] / secs[-1] > 40
+
+
+def test_dense_structure_scales_worse_at_high_threads():
+    model = CostModel(EPYC_9554)
+
+    def speedup(structure):
+        s = [
+            model.estimate_counting(
+                _counters(),
+                threads=t,
+                structure=structure,
+                max_out_degree=300,
+                effective_num_vertices=10e6,
+            ).seconds
+            for t in (1, 64)
+        ]
+        return s[0] / s[1]
+
+    assert speedup("dense") < speedup("remap")
+
+
+def test_serial_fraction_amdahl():
+    model = CostModel(EPYC_9554)
+    kwargs = dict(
+        structure="remap", max_out_degree=50, effective_num_vertices=1e5
+    )
+    full = model.estimate_counting(_counters(), threads=64, **kwargs).seconds
+    serial = model.estimate_counting(
+        _counters(), threads=64, serial_fraction=1.0, **kwargs
+    ).seconds
+    one = model.estimate_counting(_counters(), threads=1, **kwargs).seconds
+    assert serial == pytest.approx(one)
+    assert full < serial
+
+
+def test_estimate_counting_validation():
+    model = CostModel(EPYC_9554)
+    kwargs = dict(
+        structure="remap", max_out_degree=50, effective_num_vertices=1e5
+    )
+    with pytest.raises(ParallelModelError):
+        model.estimate_counting(_counters(), threads=0, **kwargs)
+    with pytest.raises(ParallelModelError):
+        model.estimate_counting(
+            _counters(), threads=2, serial_fraction=1.5, **kwargs
+        )
+    with pytest.raises(ParallelModelError):
+        model.estimate_counting(
+            _counters(), threads=4, makespan_work=1.0, **kwargs
+        )
+
+
+def test_mpki_and_ipc_reported():
+    model = CostModel(EPYC_9554)
+    est = model.estimate_counting(
+        _counters(),
+        threads=64,
+        structure="dense",
+        max_out_degree=300,
+        effective_num_vertices=10e6,
+    )
+    assert est.mpki > 0
+    assert 0 < est.ipc <= 1 / EPYC_9554.base_cpi
+    assert est.bound in ("compute", "memory")
+
+
+def test_estimate_rounds_barrier_cost():
+    model = CostModel(EPYC_9554)
+    few = model.estimate_rounds((1e6,), 0.0, threads=64)
+    many = model.estimate_rounds(tuple([1e6 / 100] * 100), 0.0, threads=64)
+    # Same work, more barriers -> slower.
+    assert many.seconds > few.seconds
+
+
+def test_estimate_rounds_sequential_dominates():
+    model = CostModel(EPYC_9554)
+    seq = model.estimate_rounds((), 1e6, threads=64)
+    par = model.estimate_rounds((1e6,), 0.0, threads=64)
+    assert seq.seconds > par.seconds
+
+
+def test_estimate_rounds_single_thread_no_barriers():
+    model = CostModel(EPYC_9554)
+    est = model.estimate_rounds((100.0, 100.0), 0.0, threads=1)
+    est64 = model.estimate_rounds((100.0, 100.0), 0.0, threads=64)
+    assert est.seconds > 0
+    with pytest.raises(ParallelModelError):
+        model.estimate_rounds((1.0,), 0.0, threads=0)
+
+
+# -------------------------------------------------------------------- gpu
+def test_gpu_a100_faster_than_v100():
+    c = _counters()
+    v = gpu_pivot_time(c, GPU_V100, max_out_degree=100)
+    a = gpu_pivot_time(c, GPU_A100, max_out_degree=100)
+    assert a < v
+
+
+def test_gpu_time_monotone_in_work():
+    small = gpu_pivot_time(_counters(1e5), GPU_V100, max_out_degree=100)
+    big = gpu_pivot_time(_counters(1e8), GPU_V100, max_out_degree=100)
+    assert big > small
+
+
+def test_gpu_launch_overhead_floor():
+    c = Counters()
+    assert gpu_pivot_time(c, GPU_V100, max_out_degree=1) >= (
+        GPU_V100.launch_overhead_s
+    )

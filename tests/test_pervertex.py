@@ -1,0 +1,60 @@
+"""Per-vertex k-clique counts (the Sec. VIII extension)."""
+
+import pytest
+
+from repro.counting import count_kcliques, per_vertex_counts
+from repro.counting.reference import brute_force_per_vertex
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import core_ordering, directionalize
+
+
+def test_matches_brute_force(small_suite):
+    for g in small_suite:
+        o = core_ordering(g)
+        for k in (2, 3, 4):
+            assert per_vertex_counts(g, k, o) == brute_force_per_vertex(g, k)
+
+
+def test_sum_is_k_times_total():
+    for seed in range(3):
+        g = erdos_renyi(25, 0.35, seed=seed)
+        o = core_ordering(g)
+        for k in (3, 4, 5):
+            per = per_vertex_counts(g, k, o)
+            total = count_kcliques(g, k, o).count
+            assert sum(per) == k * total
+
+
+def test_complete_graph_uniform():
+    import math
+
+    g = complete_graph(7)
+    per = per_vertex_counts(g, 4, core_ordering(g))
+    assert per == [math.comb(6, 3)] * 7
+
+
+def test_star_edges():
+    g = star_graph(5)
+    per = per_vertex_counts(g, 2, core_ordering(g))
+    assert per[0] == 5
+    assert per[1:] == [1] * 5
+
+
+def test_structures_agree():
+    g = erdos_renyi(20, 0.4, seed=9)
+    o = core_ordering(g)
+    ref = per_vertex_counts(g, 3, o, structure="remap")
+    assert per_vertex_counts(g, 3, o, structure="dense") == ref
+    assert per_vertex_counts(g, 3, o, structure="sparse") == ref
+
+
+def test_invalid_inputs():
+    g = complete_graph(4)
+    with pytest.raises(CountingError):
+        per_vertex_counts(g, 0, core_ordering(g))
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_vertex_counts(dag, 2, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_vertex_counts(g, 2, g)

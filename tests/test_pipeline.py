@@ -1,0 +1,129 @@
+"""End-to-end PivotScale pipeline (repro.core)."""
+
+import math
+
+import pytest
+
+from repro import (
+    CliqueCountResult,
+    PivotScaleConfig,
+    count_cliques,
+    count_cliques_all_sizes,
+)
+from repro.counting.pivoter import run_pivoter
+from repro.errors import CountingError, ParallelModelError
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.ordering import core_ordering, directionalize
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(70, 0.2, seed=61)
+
+
+def test_basic_count(graph):
+    r = count_cliques(graph, 4)
+    from repro.counting import brute_force_count
+
+    assert r.count == count_cliques(graph, 4, PivotScaleConfig(ordering="core")).count
+    assert isinstance(r, CliqueCountResult)
+    assert r.k == 4
+
+
+def test_doctest_example():
+    assert count_cliques(complete_graph(6), 3).count == 20
+
+
+def test_heuristic_decision_attached(graph):
+    r = count_cliques(graph, 3)
+    assert r.decision is not None
+    assert r.ordering.name in ("degree", "approx_core(eps=-0.5)")
+
+
+def test_forced_ordering_no_decision(graph):
+    for name in ("core", "degree", "approx_core", "kcore", "centrality"):
+        r = count_cliques(graph, 3, PivotScaleConfig(ordering=name))
+        assert r.decision is None
+        assert r.count == count_cliques(graph, 3).count
+
+
+def test_phase_breakdown(graph):
+    r = count_cliques(graph, 3)
+    p = r.phases
+    assert p.total_seconds == pytest.approx(
+        p.heuristic_seconds + p.ordering_seconds + p.counting_seconds
+    )
+    assert r.total_model_seconds > 0
+    assert r.wall_seconds > 0
+
+
+def test_all_sizes_pipeline(graph):
+    r = count_cliques_all_sizes(graph)
+    assert r.count is None
+    assert r.all_counts[1] == graph.num_vertices
+    assert r.all_counts[2] == graph.num_edges
+
+
+def test_all_sizes_max_k(graph):
+    r = count_cliques_all_sizes(graph, max_k=3)
+    assert len(r.all_counts) <= 4
+
+
+def test_structure_choices_agree(graph):
+    counts = {
+        s: count_cliques(graph, 4, PivotScaleConfig(structure=s)).count
+        for s in ("dense", "sparse", "remap")
+    }
+    assert len(set(counts.values())) == 1
+
+
+def test_max_out_degree_reported(graph):
+    r = count_cliques(graph, 3, PivotScaleConfig(ordering="core"))
+    dag = directionalize(graph, core_ordering(graph))
+    assert r.max_out_degree == dag.max_degree
+
+
+def test_config_validation():
+    with pytest.raises(CountingError):
+        PivotScaleConfig(structure="btree")
+    with pytest.raises(CountingError):
+        PivotScaleConfig(ordering="magic")
+    with pytest.raises(ParallelModelError):
+        PivotScaleConfig(threads=0)
+
+
+def test_invalid_k(graph):
+    with pytest.raises(CountingError):
+        count_cliques(graph, 0)
+
+
+def test_directed_input_rejected(graph):
+    dag = directionalize(graph, core_ordering(graph))
+    with pytest.raises(CountingError):
+        count_cliques(dag, 3)
+
+
+def test_threads_affect_model_time(graph):
+    t1 = count_cliques(graph, 4, PivotScaleConfig(threads=1))
+    t64 = count_cliques(graph, 4, PivotScaleConfig(threads=64))
+    assert t64.phases.counting_seconds < t1.phases.counting_seconds
+    assert t1.count == t64.count
+
+
+def test_pivoter_baseline_matches(graph):
+    pv = run_pivoter(graph, 4)
+    assert pv.result.count == count_cliques(graph, 4).count
+    assert pv.result.structure == "dense"
+    assert pv.ordering.name == "core"
+    assert 0 < pv.serial_fraction < 1
+
+
+def test_effective_num_vertices_changes_model_only(graph):
+    small = count_cliques(graph, 3, PivotScaleConfig(structure="dense"))
+    big = count_cliques(
+        graph,
+        3,
+        PivotScaleConfig(structure="dense", effective_num_vertices=50e6),
+    )
+    assert small.count == big.count
+    assert big.phases.counting_seconds >= small.phases.counting_seconds

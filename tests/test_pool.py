@@ -1,0 +1,61 @@
+"""Real process-based parallel counting."""
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.errors import CountingError, ParallelModelError
+from repro.graph.generators import complete_graph, empty_graph, erdos_renyi
+from repro.ordering import core_ordering, directionalize
+from repro.parallel import count_kcliques_processes
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(60, 0.25, seed=51)
+
+
+def test_single_process_matches_serial(graph):
+    o = core_ordering(graph)
+    serial = count_kcliques(graph, 4, o).count
+    assert count_kcliques_processes(graph, 4, o, processes=1) == serial
+
+
+def test_two_processes_match_serial(graph):
+    o = core_ordering(graph)
+    serial = count_kcliques(graph, 4, o).count
+    assert count_kcliques_processes(graph, 4, o, processes=2) == serial
+
+
+def test_accepts_dag(graph):
+    o = core_ordering(graph)
+    dag = directionalize(graph, o)
+    assert count_kcliques_processes(graph, 3, dag, processes=2) == (
+        count_kcliques(graph, 3, o).count
+    )
+
+
+def test_chunking_does_not_change_result(graph):
+    o = core_ordering(graph)
+    serial = count_kcliques(graph, 3, o).count
+    got = count_kcliques_processes(
+        graph, 3, o, processes=2, chunks_per_process=7
+    )
+    assert got == serial
+
+
+def test_empty_graph():
+    g = empty_graph(0)
+    assert count_kcliques_processes(g, 3, core_ordering(g), processes=2) == 0
+
+
+def test_validation():
+    g = complete_graph(4)
+    o = core_ordering(g)
+    with pytest.raises(CountingError):
+        count_kcliques_processes(g, 0, o)
+    with pytest.raises(ParallelModelError):
+        count_kcliques_processes(g, 3, o, processes=0)
+    with pytest.raises(ParallelModelError):
+        count_kcliques_processes(g, 3, o, processes=2, chunks_per_process=0)
+    with pytest.raises(CountingError):
+        count_kcliques_processes(g, 3, o, processes=1, structure="btree")

@@ -1,0 +1,82 @@
+"""Per-vertex clique profiles (all sizes in one pass)."""
+
+import math
+
+import pytest
+
+from repro.counting import count_all_sizes, count_kcliques, per_vertex_counts
+from repro.counting.profiles import per_vertex_profiles
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+from repro.ordering import core_ordering, directionalize
+
+
+def test_matches_single_k_pervertex():
+    g = erdos_renyi(25, 0.4, seed=21)
+    o = core_ordering(g)
+    prof = per_vertex_profiles(g, o)
+    for k in (2, 3, 4):
+        per_k = per_vertex_counts(g, k, o)
+        for v in range(g.num_vertices):
+            got = prof[v][k] if k < len(prof[v]) else 0
+            assert got == per_k[v]
+
+
+def test_column_sum_identity():
+    g = erdos_renyi(30, 0.35, seed=22)
+    o = core_ordering(g)
+    prof = per_vertex_profiles(g, o)
+    dist = count_all_sizes(g, o).all_counts
+    for s in range(1, len(prof[0])):
+        col = sum(row[s] for row in prof)
+        total = dist[s] if s < len(dist) else 0
+        assert col == s * total
+
+
+def test_complete_graph_profile():
+    g = complete_graph(6)
+    prof = per_vertex_profiles(g, core_ordering(g))
+    for v in range(6):
+        for s in range(1, 7):
+            assert prof[v][s] == math.comb(5, s - 1)
+
+
+def test_star_profile():
+    g = star_graph(4)
+    prof = per_vertex_profiles(g, core_ordering(g))
+    assert prof[0][2] == 4  # hub in 4 edges
+    assert prof[1][2] == 1
+    assert len(prof[0]) == 3  # trimmed past size 2
+
+
+def test_max_k_truncation():
+    g = complete_graph(8)
+    prof = per_vertex_profiles(g, core_ordering(g), max_k=3)
+    assert len(prof[0]) == 4
+    assert prof[0][3] == math.comb(7, 2)
+
+
+def test_rows_equal_width():
+    g = erdos_renyi(20, 0.3, seed=23)
+    prof = per_vertex_profiles(g, core_ordering(g))
+    widths = {len(r) for r in prof}
+    assert len(widths) == 1
+
+
+def test_structures_agree():
+    g = erdos_renyi(18, 0.4, seed=24)
+    o = core_ordering(g)
+    ref = per_vertex_profiles(g, o)
+    assert per_vertex_profiles(g, o, structure="dense") == ref
+    assert per_vertex_profiles(g, o, structure="sparse") == ref
+
+
+def test_validation():
+    g = complete_graph(4)
+    dag = directionalize(g, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_vertex_profiles(dag, core_ordering(g))
+    with pytest.raises(CountingError):
+        per_vertex_profiles(g, g)
+    with pytest.raises(CountingError):
+        per_vertex_profiles(g, core_ordering(g), max_k=0)

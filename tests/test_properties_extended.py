@@ -1,0 +1,103 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.counting import count_kcliques
+from repro.counting.listing import list_kcliques
+from repro.counting.maximal import maximal_cliques
+from repro.counting.peredge import per_edge_counts
+from repro.counting.profiles import per_vertex_profiles
+from repro.graph.build import from_edge_array
+from repro.graph.traversal import bfs_distances, connected_components
+from repro.ordering import core_ordering
+
+
+@st.composite
+def small_graphs(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible))
+    ) if possible else []
+    arr = np.array(edges, dtype=np.int64).reshape(-1, 2)
+    return from_edge_array(arr, num_vertices=n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs())
+def test_maximal_cliques_are_maximal_and_distinct(g):
+    adj = g.adjacency_sets()
+    seen = set()
+    for c in maximal_cliques(g):
+        key = tuple(c)
+        assert key not in seen
+        seen.add(key)
+        members = set(c)
+        for u in c:
+            assert members - {u} <= adj[u]
+        for w in range(g.num_vertices):
+            if w not in members:
+                assert not members <= adj[w]
+    # Every vertex belongs to at least one maximal clique.
+    covered = set().union(*map(set, seen)) if seen else set()
+    assert covered == set(range(g.num_vertices))
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(), k=st.integers(1, 5))
+def test_listing_count_identity(g, k):
+    o = core_ordering(g)
+    cliques = list(list_kcliques(g, k, o))
+    assert len(cliques) == len(set(cliques))
+    assert len(cliques) == count_kcliques(g, k, o).count
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs(), k=st.integers(2, 5))
+def test_per_edge_sum_identity(g, k):
+    import math
+
+    o = core_ordering(g)
+    per = per_edge_counts(g, k, o)
+    total = count_kcliques(g, k, o).count
+    assert sum(per.values()) == math.comb(k, 2) * total
+    # every counted edge really is an edge
+    for u, v in per:
+        assert g.has_edge(u, v)
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=small_graphs())
+def test_profiles_column_identity(g):
+    o = core_ordering(g)
+    prof = per_vertex_profiles(g, o)
+    width = len(prof[0]) if prof else 0
+    for s in range(1, width):
+        col = sum(row[s] for row in prof)
+        assert col == s * count_kcliques(g, s, o).count
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs(), data=st.data())
+def test_bfs_triangle_inequality(g, data):
+    src = data.draw(st.integers(0, g.num_vertices - 1))
+    dist = bfs_distances(g, src)
+    assert dist[src] == 0
+    for u, v in g.edges():
+        if dist[u] >= 0 and dist[v] >= 0:
+            assert abs(dist[u] - dist[v]) <= 1
+        else:
+            # reachability is edge-closed
+            assert dist[u] == dist[v] == -1
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=small_graphs())
+def test_components_are_edge_closed(g):
+    labels = connected_components(g)
+    for u, v in g.edges():
+        assert labels[u] == labels[v]
+    # labels are contiguous 0..c-1
+    uniq = sorted(set(labels.tolist()))
+    assert uniq == list(range(len(uniq)))

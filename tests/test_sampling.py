@@ -1,0 +1,72 @@
+"""Approximate counting by sampling: unbiasedness and convergence."""
+
+import math
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.counting.sampling import sample_count_color, sample_count_vertex
+from repro.errors import CountingError
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.ordering import core_ordering
+
+
+def test_p_one_is_exact():
+    g = erdos_renyi(25, 0.4, seed=1)
+    exact = count_kcliques(g, 4, core_ordering(g)).count
+    est = sample_count_vertex(g, 4, 1.0, repeats=1)
+    assert est.estimate == exact
+    assert est.std_error == 0.0
+
+
+def test_one_color_is_exact():
+    g = erdos_renyi(25, 0.4, seed=2)
+    exact = count_kcliques(g, 4, core_ordering(g)).count
+    est = sample_count_color(g, 4, 1, repeats=1)
+    assert est.estimate == exact
+
+
+def test_vertex_sampling_converges():
+    g = complete_graph(30)
+    exact = math.comb(30, 4)
+    est = sample_count_vertex(g, 4, 0.7, repeats=24, seed=3)
+    assert est.estimate == pytest.approx(exact, rel=0.25)
+    assert est.std_error > 0
+
+
+def test_color_sampling_converges():
+    g = complete_graph(30)
+    exact = math.comb(30, 3)
+    est = sample_count_color(g, 3, 2, repeats=24, seed=4)
+    assert est.estimate == pytest.approx(exact, rel=0.3)
+
+
+def test_vertex_sampling_unbiased_statistically():
+    """Mean over many repeats lands within 3 standard errors."""
+    g = erdos_renyi(40, 0.4, seed=5)
+    exact = count_kcliques(g, 3, core_ordering(g)).count
+    est = sample_count_vertex(g, 3, 0.6, repeats=40, seed=6)
+    assert abs(est.estimate - exact) <= max(3 * est.std_error, 0.2 * exact)
+
+
+def test_metadata():
+    g = complete_graph(10)
+    est = sample_count_vertex(g, 3, 0.5, repeats=4, seed=0)
+    assert est.method == "vertex-sampling"
+    assert est.repeats == 4 and est.k == 3
+    est2 = sample_count_color(g, 3, 3, repeats=2, seed=0)
+    assert est2.method == "color-sparsification"
+
+
+def test_validation():
+    g = complete_graph(6)
+    with pytest.raises(CountingError):
+        sample_count_vertex(g, 0, 0.5)
+    with pytest.raises(CountingError):
+        sample_count_vertex(g, 3, 0.0)
+    with pytest.raises(CountingError):
+        sample_count_vertex(g, 3, 1.5)
+    with pytest.raises(CountingError):
+        sample_count_vertex(g, 3, 0.5, repeats=0)
+    with pytest.raises(CountingError):
+        sample_count_color(g, 3, 0)

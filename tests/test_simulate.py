@@ -1,0 +1,118 @@
+"""Simulated parallel execution: phase times and scaling curves."""
+
+import pytest
+
+from repro.counting import count_kcliques
+from repro.graph.generators import rmat
+from repro.ordering import approx_core_ordering, core_ordering, degree_ordering
+from repro.parallel import (
+    DynamicScheduler,
+    StaticScheduler,
+    scaling_curve,
+    simulate_counting,
+    simulate_ordering,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    g = rmat(9, 8.0, seed=41)
+    return g, count_kcliques(g, 6, core_ordering(g))
+
+
+def test_counting_time_decreases_with_threads(run):
+    _, res = run
+    t1 = simulate_counting(res, threads=1).seconds
+    t64 = simulate_counting(res, threads=64).seconds
+    assert t64 < t1
+    assert t1 / t64 > 8  # real speedup even on a modest graph
+
+
+def test_scaling_curve_keys(run):
+    _, res = run
+    curve = scaling_curve(res, [1, 2, 4])
+    assert set(curve) == {1, 2, 4}
+    assert curve[1].seconds >= curve[4].seconds
+
+
+def test_remap_scales_better_than_dense_at_paper_scale(run):
+    g, _ = run
+    o = core_ordering(g)
+    res_remap = count_kcliques(g, 6, o, structure="remap")
+    res_dense = count_kcliques(g, 6, o, structure="dense")
+
+    def speedup(res):
+        kw = dict(effective_num_vertices=10e6, max_out_degree=300)
+        return (
+            simulate_counting(res, threads=1, **kw).seconds
+            / simulate_counting(res, threads=64, **kw).seconds
+        )
+
+    assert speedup(res_dense) < speedup(res_remap)
+
+
+def test_serial_fraction_limits_speedup(run):
+    _, res = run
+    t1 = simulate_counting(res, threads=1).seconds
+    t64 = simulate_counting(res, threads=64, serial_fraction=0.27).seconds
+    # Amdahl: max speedup ~ 1/0.27 ~ 3.7 (the naive-Pivoter behavior).
+    assert 2.0 < t1 / t64 < 4.5
+
+
+def test_scheduler_choice_affects_makespan(run):
+    _, res = run
+    dyn = simulate_counting(res, threads=32, scheduler=DynamicScheduler())
+    sta = simulate_counting(res, threads=32, scheduler=StaticScheduler())
+    assert dyn.assignment.makespan <= sta.assignment.makespan + 1e-9
+    assert dyn.cv >= 0.0
+
+
+def test_ordering_simulation_degree_fastest():
+    # At paper scale (work_scale extrapolates the analog to millions of
+    # vertices) the barrier costs amortize.
+    g = rmat(9, 8.0, seed=42)
+    scale = 1e6 / g.num_vertices
+    t_core = simulate_ordering(
+        core_ordering(g).cost, threads=64, work_scale=scale
+    ).seconds
+    t_deg = simulate_ordering(
+        degree_ordering(g).cost, threads=64, work_scale=scale
+    ).seconds
+    t_approx = simulate_ordering(
+        approx_core_ordering(g, -0.5).cost, threads=64, work_scale=scale
+    ).seconds
+    assert t_deg < t_approx  # degree is always the fastest ordering
+    assert t_approx < t_core  # parallel approximation beats sequential core
+
+
+def test_approx_core_ordering_speedup_over_core():
+    """Fig. 6 headline: the eps=-0.5 approximation is ~10x faster than
+    the sequential core ordering on larger graphs."""
+    g = rmat(11, 8.0, seed=43)
+    scale = 2e6 / g.num_vertices
+    t_core = simulate_ordering(
+        core_ordering(g).cost, threads=64, work_scale=scale
+    ).seconds
+    t_approx = simulate_ordering(
+        approx_core_ordering(g, -0.5).cost, threads=64, work_scale=scale
+    ).seconds
+    assert t_core / t_approx > 3
+
+
+def test_small_scale_barriers_dominate():
+    """Without rescaling, a tiny graph's approx-core ordering is all
+    barrier overhead — slower than just peeling sequentially."""
+    g = rmat(9, 8.0, seed=42)
+    t_core = simulate_ordering(core_ordering(g).cost, threads=64).seconds
+    t_approx = simulate_ordering(
+        approx_core_ordering(g, -0.5).cost, threads=64
+    ).seconds
+    assert t_approx > t_core
+
+
+def test_phase_time_cv_property(run):
+    _, res = run
+    pt = simulate_counting(res, threads=8)
+    assert pt.cv == pt.assignment.cv
+    ot = simulate_ordering(core_ordering(rmat(6, 4.0, seed=1)).cost, threads=8)
+    assert ot.cv == 0.0

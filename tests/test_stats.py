@@ -1,0 +1,102 @@
+"""Graph statistics: histograms, assortativity, heuristic inputs,
+triangles."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import (
+    complete_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.stats import (
+    assortativity,
+    common_neighbor_fraction,
+    count_triangles,
+    degree_histogram,
+    heuristic_inputs,
+)
+from repro.counting.reference import brute_force_count
+
+
+def test_degree_histogram_complete():
+    h = degree_histogram(complete_graph(5))
+    assert h[4] == 5
+    assert h.sum() == 5
+
+
+def test_degree_histogram_star():
+    h = degree_histogram(star_graph(6))
+    assert h[1] == 6 and h[6] == 1
+
+
+def test_degree_histogram_empty():
+    h = degree_histogram(empty_graph(0))
+    assert h.tolist() == [0]
+
+
+def test_assortativity_star_negative():
+    # Stars are maximally disassortative.
+    assert assortativity(star_graph(10)) < -0.9
+
+
+def test_assortativity_regular_graph_degenerate():
+    # All degrees equal -> zero variance -> defined as 0.
+    assert assortativity(complete_graph(6)) == 0.0
+
+
+def test_assortativity_no_edges():
+    assert assortativity(empty_graph(4)) == 0.0
+
+
+def test_assortativity_bounded():
+    g = erdos_renyi(80, 0.1, seed=9)
+    r = assortativity(g)
+    assert -1.0 <= r <= 1.0
+
+
+def test_common_neighbor_fraction_triangle():
+    g = from_edge_list([(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)])
+    # N(0) = {1,2,3}, N(1) = {0,2,3}; common = {2,3}; min degree = 3.
+    assert common_neighbor_fraction(g, 0, 1) == pytest.approx(2 / 3)
+
+
+def test_common_neighbor_fraction_no_overlap():
+    g = path_graph(4)
+    assert common_neighbor_fraction(g, 0, 1) == 0.0
+
+
+def test_heuristic_inputs_star():
+    hi = heuristic_inputs(star_graph(8))
+    assert hi.hub == 0
+    assert hi.hub_degree == 8
+    assert hi.a == 1  # every neighbor is a leaf
+    assert hi.common_fraction == 0.0
+
+
+def test_heuristic_inputs_effective_scaling():
+    g = star_graph(8)
+    hi = heuristic_inputs(g, effective_num_vertices=1e6)
+    assert hi.num_vertices == 1e6
+    assert hi.a_over_v == pytest.approx(1 / 1e6)
+
+
+def test_heuristic_inputs_empty():
+    hi = heuristic_inputs(empty_graph(3))
+    assert hi.a == 0 and hi.a_over_v == 0.0
+
+
+def test_triangles_match_brute_force():
+    for seed in range(4):
+        g = erdos_renyi(14, 0.4, seed=seed)
+        assert count_triangles(g) == brute_force_count(g, 3)
+
+
+def test_triangles_closed_forms():
+    assert count_triangles(complete_graph(6)) == 20
+    assert count_triangles(star_graph(9)) == 0
+    assert count_triangles(path_graph(10)) == 0
+    assert count_triangles(empty_graph(0)) == 0

@@ -1,0 +1,117 @@
+"""The three subgraph structures: identical topology, distinct models."""
+
+import numpy as np
+import pytest
+
+from repro.counting.structures import (
+    STRUCTURES,
+    DenseStructure,
+    RemapStructure,
+    SparseStructure,
+)
+from repro.counting.structures.base import build_local_rows
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.ordering import core_ordering, directionalize
+
+
+@pytest.fixture(scope="module")
+def pair():
+    g = erdos_renyi(50, 0.25, seed=31)
+    dag = directionalize(g, core_ordering(g))
+    return g, dag
+
+
+def test_registry_names():
+    assert set(STRUCTURES) == {"dense", "sparse", "remap"}
+    for name, cls in STRUCTURES.items():
+        assert cls.name == name
+
+
+def test_build_local_rows_symmetrized():
+    g = complete_graph(4)
+    dag = directionalize(g, np.arange(4))
+    out = dag.neighbors(0)  # {1, 2, 3}
+    rows, words = build_local_rows(g, out)
+    # Induced subgraph of K4's out-neighborhood is K3: each row has the
+    # other two bits set.
+    assert [r.bit_count() for r in rows] == [2, 2, 2]
+    assert words > 0
+
+
+def test_rows_symmetric_within_subgraph(pair):
+    g, dag = pair
+    out = dag.neighbors(int(np.argmax(dag.degrees)))
+    rows, _ = build_local_rows(g, out)
+    d = out.size
+    for i in range(d):
+        for j in range(d):
+            assert ((rows[i] >> j) & 1) == ((rows[j] >> i) & 1)
+    for i in range(d):
+        assert (rows[i] >> i) & 1 == 0  # no self loops
+
+
+def test_all_structures_same_rows(pair):
+    g, dag = pair
+    structs = [cls(g, dag) for cls in STRUCTURES.values()]
+    for v in range(g.num_vertices):
+        ctxs = [s.build(v) for s in structs]
+        d = ctxs[0].d
+        assert all(c.d == d for c in ctxs)
+        for i in range(d):
+            ref = ctxs[0].row(i)
+            assert all(c.row(i) == ref for c in ctxs[1:])
+
+
+def test_dense_slot_reuse(pair):
+    g, dag = pair
+    dense = DenseStructure(g, dag)
+    c1 = dense.build(0)
+    rows1 = [c1.row(i) for i in range(c1.d)]
+    dense.build(1)  # rebuild for another root
+    c3 = dense.build(0)  # and back
+    assert [c3.row(i) for i in range(c3.d)] == rows1
+
+
+def test_memory_model_ordering(pair):
+    g, dag = pair
+    v = int(np.argmax(dag.degrees))
+    dense = DenseStructure(g, dag).build(v)
+    sparse = SparseStructure(g, dag).build(v)
+    remap = RemapStructure(g, dag).build(v)
+    assert dense.memory_bytes > sparse.memory_bytes > remap.memory_bytes
+    # The dense index alone is |V| pointers.
+    assert dense.memory_bytes >= 8 * g.num_vertices
+
+
+def test_lookup_weights(pair):
+    g, dag = pair
+    assert DenseStructure(g, dag).build(0).lookup_weight == 1.0
+    assert SparseStructure(g, dag).build(0).lookup_weight == 1.2
+    assert RemapStructure(g, dag).build(0).lookup_weight == 1.0
+
+
+def test_structure_requires_graph_dag_pair(pair):
+    g, dag = pair
+    with pytest.raises(ValueError):
+        RemapStructure(g, g)
+    with pytest.raises(ValueError):
+        RemapStructure(dag, dag)
+    g2 = erdos_renyi(10, 0.3, seed=1)
+    with pytest.raises(ValueError):
+        RemapStructure(g2, dag)
+
+
+def test_zero_outdegree_root(pair):
+    g, dag = pair
+    sinks = [v for v in range(g.num_vertices) if dag.degree(v) == 0]
+    assert sinks, "core ordering guarantees at least one sink"
+    ctx = RemapStructure(g, dag).build(sinks[0])
+    assert ctx.d == 0
+
+
+def test_bitset_bytes_model(pair):
+    g, dag = pair
+    s = RemapStructure(g, dag)
+    assert s.bitset_bytes(0) == 0
+    assert s.bitset_bytes(64) == 64 * 8
+    assert s.bitset_bytes(65) == 65 * 2 * 8

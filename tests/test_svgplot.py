@@ -1,0 +1,115 @@
+"""SVG plotting primitives and figure renderers."""
+
+import xml.dom.minidom as minidom
+
+import pytest
+
+from repro.bench.svgplot import GroupedBarChart, LineChart, Series
+
+
+def _valid(svg: str) -> None:
+    dom = minidom.parseString(svg)
+    assert dom.documentElement.tagName == "svg"
+
+
+def test_line_chart_basic():
+    c = LineChart("t", [1, 2, 3], x_label="x", y_label="y")
+    c.add(Series("a", [1.0, 2.0, 3.0]))
+    svg = c.render()
+    _valid(svg)
+    assert "polyline" in svg
+    assert ">a<" in svg  # legend entry
+
+
+def test_line_chart_missing_values():
+    c = LineChart("t", [1, 2, 3])
+    c.add(Series("a", [1.0, None, 3.0]))
+    _valid(c.render())
+
+
+def test_line_chart_log_axes():
+    c = LineChart("t", [1, 2, 4, 8], x_log=True, y_log=True)
+    c.add(Series("a", [0.001, 0.1, 10.0, 1000.0]))
+    svg = c.render()
+    _valid(svg)
+    assert "1e" in svg or "1000" in svg  # log ticks labeled
+
+
+def test_line_chart_categorical_x():
+    c = LineChart("t", ["alpha", "beta"])
+    c.add(Series("a", [1.0, 2.0]))
+    svg = c.render()
+    _valid(svg)
+    assert "alpha" in svg
+
+
+def test_line_chart_single_point():
+    c = LineChart("t", [5])
+    c.add(Series("a", [2.0]))
+    _valid(c.render())
+
+
+def test_line_chart_validation():
+    c = LineChart("t", [1, 2])
+    with pytest.raises(ValueError):
+        c.add(Series("a", [1.0]))
+    with pytest.raises(ValueError):
+        c.render()  # no series
+    c.add(Series("a", [None, None]))
+    with pytest.raises(ValueError):
+        c.render()  # all values missing
+
+
+def test_bar_chart_basic():
+    c = GroupedBarChart("bars", ["x", "y"], y_label="v", baseline=1.0)
+    c.add(Series("s1", [0.5, 2.0]))
+    c.add(Series("s2", [1.5, None]))
+    svg = c.render()
+    _valid(svg)
+    assert svg.count("<rect") >= 4  # background + 3 bars
+    assert "stroke-dasharray" in svg  # the baseline
+
+
+def test_bar_chart_validation():
+    c = GroupedBarChart("bars", ["x"])
+    with pytest.raises(ValueError):
+        c.add(Series("s", [1.0, 2.0]))
+    with pytest.raises(ValueError):
+        c.render()
+
+
+def test_write_files(tmp_path):
+    c = LineChart("t", [1, 2])
+    c.add(Series("a", [1.0, 2.0]))
+    path = tmp_path / "c.svg"
+    c.write(path)
+    _valid(path.read_text())
+
+
+def test_escaping():
+    c = LineChart("a < b & c", ["<x>"])
+    c.add(Series("s<1>", [1.0]))
+    svg = c.render()
+    _valid(svg)
+    assert "a &lt; b &amp; c" in svg
+
+
+def test_figure_renderers_smoke(tmp_path):
+    """Each figure renderer produces well-formed SVG from small runs."""
+    from repro.bench import experiments as E
+    from repro.bench import figures as F
+
+    out = str(tmp_path)
+    paths = []
+    paths += F.render_fig1(E.fig1_distribution(names=("dblp",)), out)
+    paths += F.render_fig3(E.fig3_degree_distributions(), out)
+    paths += F.render_fig5(E.fig5_ordering_quality(names=("dblp",)), out)
+    paths += F.render_fig6(E.fig6_ordering_time(names=("dblp",)), out)
+    paths += F.render_fig10(
+        E.fig10_heuristic_vs_k(names=("dblp",), ks=(4, 6)), out
+    )
+    paths += F.render_fig11(
+        E.fig11_scaling(names=("baidu",), ks=(6,), threads=(1, 8, 64)), out
+    )
+    for p in paths:
+        _valid(open(p, encoding="utf-8").read())

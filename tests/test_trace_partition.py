@@ -1,0 +1,127 @@
+"""Execution timelines and task partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelModelError
+from repro.parallel.partition import edge_split_tasks, vertex_tasks
+from repro.parallel.sched import CyclicScheduler, DynamicScheduler, StaticScheduler
+from repro.parallel.trace import simulate_timeline
+
+
+@pytest.fixture
+def work():
+    rng = np.random.default_rng(3)
+    return rng.lognormal(0, 1, size=300)
+
+
+@pytest.mark.parametrize(
+    "sched", [StaticScheduler(), CyclicScheduler(), DynamicScheduler()],
+    ids=["static", "cyclic", "dynamic"],
+)
+def test_timeline_conservation(sched, work):
+    tl = simulate_timeline(work, 8, sched)
+    assert tl.busy_times().sum() == pytest.approx(work.sum())
+    assert tl.threads == 8
+
+
+def test_timeline_matches_scheduler_makespan(work):
+    for sched in (StaticScheduler(), CyclicScheduler(), DynamicScheduler()):
+        tl = simulate_timeline(work, 16, sched)
+        a = sched.assign(work, 16)
+        assert tl.makespan == pytest.approx(a.makespan)
+        assert tl.cv == pytest.approx(a.cv)
+
+
+def test_timeline_spans_do_not_overlap_per_thread(work):
+    tl = simulate_timeline(work, 4, DynamicScheduler(chunk=5))
+    per_thread: dict[int, list] = {}
+    for s in tl.spans:
+        per_thread.setdefault(s.thread, []).append(s)
+    for spans in per_thread.values():
+        spans.sort(key=lambda s: s.start)
+        for a, b in zip(spans, spans[1:]):
+            assert a.end <= b.start + 1e-9
+
+
+def test_timeline_utilization_bounds(work):
+    tl = simulate_timeline(work, 8, DynamicScheduler())
+    assert 0.0 < tl.utilization <= 1.0
+
+
+def test_timeline_cv_small_on_balanced_load():
+    work = np.ones(6400)
+    tl = simulate_timeline(work, 64, DynamicScheduler())
+    assert tl.cv < 0.01  # the paper's CV 0.03 regime
+
+
+def test_timeline_svg_well_formed(work):
+    import xml.dom.minidom as minidom
+
+    tl = simulate_timeline(work, 4, DynamicScheduler())
+    minidom.parseString(tl.to_svg())
+
+
+def test_timeline_validation(work):
+    with pytest.raises(ParallelModelError):
+        simulate_timeline(work, 0, DynamicScheduler())
+    with pytest.raises(ParallelModelError):
+        simulate_timeline(np.ones((2, 2)), 2, DynamicScheduler())
+
+
+def test_empty_timeline():
+    tl = simulate_timeline(np.array([]), 4, DynamicScheduler())
+    assert tl.makespan == 0.0
+    assert tl.cv == 0.0
+    assert tl.utilization == 1.0
+
+
+# ------------------------------------------------------------- partition
+def test_vertex_tasks_identity(work):
+    p = vertex_tasks(work)
+    assert p.num_tasks == work.size
+    assert np.array_equal(p.root_of, np.arange(work.size))
+
+
+def test_edge_split_reduces_max_fraction():
+    work = np.array([1000.0] + [1.0] * 99)
+    degs = np.array([50] + [3] * 99)
+    before = vertex_tasks(work)
+    after = edge_split_tasks(work, degs, threshold_fraction=0.05)
+    assert after.max_task_fraction < before.max_task_fraction
+    assert after.work.sum() == pytest.approx(work.sum())
+    # The heavy root became 50 tasks.
+    assert (after.root_of == 0).sum() == 50
+
+
+def test_edge_split_leaves_light_roots_alone():
+    work = np.ones(10)
+    degs = np.full(10, 5)
+    p = edge_split_tasks(work, degs, threshold_fraction=0.5)
+    assert p.num_tasks == 10
+
+
+def test_edge_split_improves_livejournal_makespan():
+    """The GPU-Pivot-style split tames the analog's pocket root."""
+    from repro.counting import count_kcliques
+    from repro.datasets import load
+    from repro.ordering import core_ordering, directionalize
+
+    g = load("livejournal")
+    o = core_ordering(g)
+    r = count_kcliques(g, 8, o)
+    dag = directionalize(g, o)
+    sched = DynamicScheduler()
+    before = sched.assign(vertex_tasks(r.per_root_work).work, 64).makespan
+    split = edge_split_tasks(r.per_root_work, dag.degrees)
+    after = sched.assign(split.work, 64).makespan
+    assert after < before
+
+
+def test_edge_split_validation():
+    with pytest.raises(ParallelModelError):
+        edge_split_tasks(np.ones(3), np.ones(2))
+    with pytest.raises(ParallelModelError):
+        edge_split_tasks(np.ones(3), np.ones(3), threshold_fraction=0.0)
+    p = edge_split_tasks(np.zeros(3), np.ones(3))
+    assert p.num_tasks == 3

@@ -1,0 +1,70 @@
+"""BFS and connected components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, empty_graph, erdos_renyi, path_graph
+from repro.graph.traversal import bfs_distances, connected_components, largest_component
+
+
+def test_bfs_path_graph():
+    g = path_graph(5)
+    assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+    assert bfs_distances(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+
+def test_bfs_unreachable():
+    g = empty_graph(4)
+    d = bfs_distances(g, 1)
+    assert d.tolist() == [-1, 0, -1, -1]
+
+
+def test_bfs_source_validation():
+    with pytest.raises(GraphFormatError):
+        bfs_distances(empty_graph(3), 3)
+
+
+def test_bfs_matches_networkx():
+    import networkx as nx
+
+    g = erdos_renyi(50, 0.08, seed=11)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(50))
+    nxg.add_edges_from(g.edges())
+    expected = nx.single_source_shortest_path_length(nxg, 7)
+    d = bfs_distances(g, 7)
+    for v in range(50):
+        assert d[v] == expected.get(v, -1)
+
+
+def test_components_two_cliques():
+    edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+    edges += [(a + 4, b + 4) for a in range(3) for b in range(a + 1, 3)]
+    g = from_edge_list(edges, num_vertices=8)
+    labels = connected_components(g)
+    assert len(set(labels.tolist())) == 3  # K4, K3, isolated vertex 7
+    assert labels[0] == labels[3]
+    assert labels[4] == labels[6]
+    assert labels[0] != labels[4] != labels[7]
+
+
+def test_components_complete():
+    labels = connected_components(complete_graph(6))
+    assert (labels == 0).all()
+
+
+def test_largest_component():
+    edges = [(0, 1), (1, 2), (3, 4)]
+    g = from_edge_list(edges, num_vertices=6)
+    assert largest_component(g).tolist() == [0, 1, 2]
+    assert largest_component(empty_graph(0)).size == 0
+
+
+def test_datasets_dominated_by_giant_component():
+    """The analogs should look like their originals: one giant CC."""
+    from repro.datasets import load
+
+    g = load("skitter")
+    assert largest_component(g).size > 0.8 * g.num_vertices

@@ -1,0 +1,55 @@
+"""Graph health reports."""
+
+import pytest
+
+from repro.graph.build import from_edge_list
+from repro.graph.generators import complete_graph, empty_graph, erdos_renyi
+from repro.graph.validate import validate_graph
+
+
+def test_basic_report():
+    g = complete_graph(6)
+    r = validate_graph(g)
+    assert r.num_vertices == 6
+    assert r.num_edges == 15
+    assert r.degeneracy == 5
+    assert r.num_components == 1
+    assert r.largest_component_fraction == 1.0
+    assert not r.warnings
+
+
+def test_empty_graph_report():
+    r = validate_graph(empty_graph(0))
+    assert r.num_vertices == 0
+    assert r.summary() == "" or isinstance(r.summary(), str)
+
+
+def test_isolated_vertex_warning():
+    g = from_edge_list([(0, 1)], num_vertices=10)
+    r = validate_graph(g)
+    assert r.isolated_vertices == 8
+    assert any("isolated" in w for w in r.warnings)
+
+
+def test_fragmented_graph_warning():
+    # Many tiny components, none dominant.
+    edges = [(2 * i, 2 * i + 1) for i in range(10)]
+    g = from_edge_list(edges)
+    r = validate_graph(g)
+    assert r.num_components == 10
+    assert any("dominant" in w for w in r.warnings)
+
+
+def test_summary_contains_key_numbers():
+    g = erdos_renyi(40, 0.2, seed=41)
+    text = validate_graph(g).summary()
+    assert "degeneracy" in text
+    assert "components" in text
+    assert "assortativity" in text
+
+
+def test_cli_validate(capsys):
+    from repro.cli import main
+
+    assert main(["validate", "--dataset", "dblp"]) == 0
+    assert "degeneracy" in capsys.readouterr().out
