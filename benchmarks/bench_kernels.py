@@ -1,15 +1,32 @@
 """Microbenchmarks of the hot kernels (real wall-clock timing).
 
 Unlike the table/figure benches (which reproduce the paper's modeled
-results), these time the actual Python kernels with pytest-benchmark so
-performance regressions in the implementation are visible.
+results), these time the actual Python kernels so performance
+regressions in the implementation are visible.  Two entry points:
+
+* ``pytest benchmarks/bench_kernels.py`` — pytest-benchmark timings of
+  ordering, structure-build, counting, and both bitset-kernel backends;
+* ``python benchmarks/bench_kernels.py [--smoke]`` — a standalone
+  old-vs-new kernel comparison on a dense-structure root.  It times the
+  fused ``count_rows`` (intersect + popcount), ``pivot_select``, and
+  the per-row ``intersect_count`` sweep for the big-int and word-array
+  backends, writes a ``BENCH_kernels.json`` artifact, and exits nonzero
+  if the word-array backend misses its speedup gate (>= 2x on the
+  intersect/popcount microbench in full mode; never slower than big-int
+  in ``--smoke`` mode, which CI runs on every push).
 """
 
+import argparse
+import sys
+
+import numpy as np
 import pytest
 
+from repro.bench.harness import Table, fmt_rate, time_best, write_json_artifact
 from repro.counting import count_kcliques
-from repro.counting.structures import STRUCTURES
-from repro.datasets import load
+from repro.counting.structures import STRUCTURES, DenseStructure
+from repro.graph.generators import erdos_renyi
+from repro.kernels import KERNELS
 from repro.ordering import (
     approx_core_ordering,
     core_ordering,
@@ -17,9 +34,15 @@ from repro.ordering import (
     directionalize,
 )
 
+# ----------------------------------------------------------------------
+# pytest-benchmark suite (excluded from tier-1; run via benchmarks/)
+# ----------------------------------------------------------------------
+
 
 @pytest.fixture(scope="module")
 def skitter():
+    from repro.datasets import load
+
     return load("skitter")
 
 
@@ -47,8 +70,6 @@ def test_kernel_directionalize(benchmark, skitter):
 
 @pytest.mark.parametrize("structure", ["dense", "sparse", "remap"])
 def test_kernel_subgraph_build(benchmark, skitter, skitter_dag, structure):
-    import numpy as np
-
     struct = STRUCTURES[structure](skitter, skitter_dag)
     hub = int(np.argmax(skitter_dag.degrees))
     benchmark(struct.build, hub)
@@ -62,3 +83,165 @@ def test_kernel_counting_k8(benchmark, skitter, structure):
         kwargs={"structure": structure}, rounds=2, iterations=1,
     )
     assert result.count > 0
+
+
+@pytest.fixture(scope="module")
+def hub_root():
+    """A large-degree dense-structure root, built per backend."""
+    g = erdos_renyi(900, 0.6, seed=7)
+    dag = directionalize(g, core_ordering(g))
+    hub = int(np.argmax(dag.degrees))
+    return {
+        backend: DenseStructure(g, dag, kernel=backend).build(hub)
+        for backend in KERNELS
+    }
+
+
+@pytest.mark.parametrize("backend", sorted(KERNELS))
+def test_kernel_count_rows(benchmark, hub_root, backend):
+    ctx = hub_root[backend]
+    P = (1 << ctx.d) - 1
+    benchmark(ctx.kernel.count_rows, ctx.rows, P)
+
+
+@pytest.mark.parametrize("backend", sorted(KERNELS))
+def test_kernel_pivot_select(benchmark, hub_root, backend):
+    ctx = hub_root[backend]
+    P = (1 << ctx.d) - 1
+    benchmark(ctx.kernel.pivot_select, ctx.rows, P, ctx.d)
+
+
+@pytest.mark.parametrize("backend", sorted(KERNELS))
+def test_kernel_counting_wordarray_vs_bigint(benchmark, backend):
+    g = erdos_renyi(300, 0.25, seed=11)
+    ordering = core_ordering(g)
+    result = benchmark.pedantic(
+        count_kcliques, args=(g, 6, ordering),
+        kwargs={"kernel": backend}, rounds=2, iterations=1,
+    )
+    assert result.count > 0
+
+
+# ----------------------------------------------------------------------
+# standalone old-vs-new comparison (the CI smoke gate)
+# ----------------------------------------------------------------------
+
+#: Full-mode acceptance: word-array >= 2x on intersect/popcount.
+FULL_GATE = 2.0
+#: Smoke-mode acceptance: word-array must never be slower than big-int
+#: on the fused kernels it exists to accelerate.
+SMOKE_GATE = 1.0
+
+#: The ops the gate applies to — the fused batch kernels.  The per-row
+#: ``intersect_count`` sweep is reported but not gated: one-row ops are
+#: CPython big-int's home turf and the engine uses the fused kernels on
+#: the hot path.
+GATED_OPS = ("intersect_popcount", "pivot_select")
+
+
+def _bench_ops(ctx, *, number, repeats):
+    """Time the kernel ops on one built root context."""
+    kern, rows, d = ctx.kernel, ctx.rows, ctx.d
+    P = (1 << d) - 1
+    ops = {
+        "intersect_popcount": lambda: kern.count_rows(rows, P),
+        "pivot_select": lambda: kern.pivot_select(rows, P, d),
+        "intersect_count_sweep": lambda: [
+            kern.intersect_count(rows, i, P) for i in range(d)
+        ],
+    }
+    return {
+        name: time_best(fn, number=number, repeats=repeats)
+        for name, fn in ops.items()
+    }
+
+
+def run_kernel_bench(*, n, p, seed, number, repeats, gate, out_path):
+    """Old-vs-new kernel comparison on a dense-structure hub root.
+
+    Returns the payload dict (also written to ``out_path``); the
+    ``gate`` entry records whether the word-array backend met the
+    required speedup on the fused intersect/popcount kernels.
+    """
+    g = erdos_renyi(n, p, seed=seed)
+    dag = directionalize(g, core_ordering(g))
+    hub = int(np.argmax(dag.degrees))
+
+    timings = {}
+    d = words = 0
+    for backend in sorted(KERNELS):
+        ctx = DenseStructure(g, dag, kernel=backend).build(hub)
+        d = ctx.d
+        words = (d + 63) // 64
+        timings[backend] = _bench_ops(ctx, number=number, repeats=repeats)
+
+    table = Table(
+        title=f"bitset kernels, dense root d={d} ({words} words)",
+        columns=["op", "bigint", "wordarray", "speedup", "wa words/s"],
+    )
+    ops_payload = {}
+    for op in timings["bigint"]:
+        bi = timings["bigint"][op]
+        wa = timings["wordarray"][op]
+        speedup = bi / wa
+        words_per_s = d * words / wa
+        ops_payload[op] = {
+            "bigint_s": bi,
+            "wordarray_s": wa,
+            "speedup": round(speedup, 3),
+            "wordarray_words_per_s": words_per_s,
+            "gated": op in GATED_OPS,
+        }
+        table.add(op, f"{bi * 1e6:.1f}us", f"{wa * 1e6:.1f}us",
+                  f"{speedup:.2f}x", fmt_rate(words_per_s))
+
+    gate_pass = all(ops_payload[op]["speedup"] >= gate for op in GATED_OPS)
+    table.note(f"gate: fused kernels >= {gate:.1f}x -> "
+               f"{'PASS' if gate_pass else 'FAIL'}")
+    table.show()
+
+    payload = {
+        "bench": "kernels",
+        "config": {"n": n, "p": p, "seed": seed,
+                   "number": number, "repeats": repeats},
+        "root": {"d": d, "words": words},
+        "ops": ops_payload,
+        "gate": {"threshold": gate, "ops": list(GATED_OPS),
+                 "pass": gate_pass},
+    }
+    artifact = write_json_artifact(out_path, payload)
+    print(f"wrote {artifact}")
+    return payload
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="old-vs-new bitset kernel comparison")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small graph, few repeats, >=1x gate (CI)")
+    ap.add_argument("--out", default="BENCH_kernels.json",
+                    help="JSON artifact path (default: %(default)s)")
+    ap.add_argument("--n", type=int, default=None,
+                    help="graph size (default: 1200 full, 500 smoke)")
+    ap.add_argument("--p", type=float, default=None,
+                    help="edge probability (default: 0.6 full, 0.5 smoke)")
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        cfg = dict(n=args.n or 500, p=args.p or 0.5, seed=args.seed,
+                   number=10, repeats=3, gate=SMOKE_GATE)
+    else:
+        cfg = dict(n=args.n or 1200, p=args.p or 0.6, seed=args.seed,
+                   number=20, repeats=5, gate=FULL_GATE)
+
+    payload = run_kernel_bench(out_path=args.out, **cfg)
+    if not payload["gate"]["pass"]:
+        print("FAIL: word-array kernels missed the speedup gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

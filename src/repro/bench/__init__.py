@@ -7,7 +7,15 @@ paper-vs-measured side by side (EXPERIMENTS.md is generated from these
 runs).
 """
 
-from repro.bench.harness import Table, geometric_mean, fmt_seconds, fmt_count
+from repro.bench.harness import (
+    Table,
+    geometric_mean,
+    fmt_seconds,
+    fmt_count,
+    fmt_rate,
+    time_best,
+    write_json_artifact,
+)
 from repro.bench import experiments, paper_data
 
 __all__ = [
@@ -15,6 +23,9 @@ __all__ = [
     "geometric_mean",
     "fmt_seconds",
     "fmt_count",
+    "fmt_rate",
+    "time_best",
+    "write_json_artifact",
     "experiments",
     "paper_data",
 ]

@@ -1,12 +1,24 @@
-"""Small report-formatting helpers for the experiment harness."""
+"""Small report-formatting and timing helpers for the experiment harness."""
 
 from __future__ import annotations
 
+import json
 import math
+import platform
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from pathlib import Path
+from typing import Any, Callable, Iterable
 
-__all__ = ["Table", "geometric_mean", "fmt_seconds", "fmt_count"]
+__all__ = [
+    "Table",
+    "geometric_mean",
+    "fmt_seconds",
+    "fmt_count",
+    "fmt_rate",
+    "time_best",
+    "write_json_artifact",
+]
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -33,6 +45,46 @@ def fmt_seconds(s: float | None) -> str:
 def fmt_count(c: int | None) -> str:
     """Exact counts with thousands separators (``-`` for missing)."""
     return "-" if c is None else f"{c:,}"
+
+
+def fmt_rate(per_second: float) -> str:
+    """A throughput (ops or words per second) with a metric suffix."""
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if per_second >= scale:
+            return f"{per_second / scale:.2f}{suffix}/s"
+    return f"{per_second:.1f}/s"
+
+
+def time_best(
+    fn: Callable[[], Any], *, number: int = 10, repeats: int = 5
+) -> float:
+    """Best-of-``repeats`` mean seconds per call of ``fn``.
+
+    The minimum over repeats is the standard microbench estimator: it
+    discards scheduler noise and cache-warming effects, which only ever
+    inflate a measurement.
+    """
+    if number < 1 or repeats < 1:
+        raise ValueError("number and repeats must be >= 1")
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / number)
+    return best
+
+
+def write_json_artifact(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a benchmark result dict as a JSON artifact (with metadata)."""
+    out = dict(payload)
+    out.setdefault("meta", {}).update(
+        python=platform.python_version(),
+        machine=platform.machine(),
+    )
+    path = Path(path)
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @dataclass

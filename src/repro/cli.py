@@ -13,6 +13,7 @@ Commands
 Examples::
 
     python -m repro count --dataset orkut -k 8
+    python -m repro count --dataset orkut -k 8 --kernel wordarray
     python -m repro count --edge-list my.el -k 5 --structure sparse
     python -m repro dist --dataset dblp
     python -m repro orderings --dataset skitter
@@ -48,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--structure", choices=("dense", "sparse", "remap"), default="remap"
     )
     p_count.add_argument(
+        "--kernel", choices=("bigint", "wordarray"), default="bigint",
+        help="bitset-kernel backend for the counting hot path",
+    )
+    p_count.add_argument(
         "--ordering",
         choices=("heuristic", "core", "degree", "approx_core", "kcore",
                  "centrality"),
@@ -61,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist = sub.add_parser("dist", help="clique-size distribution")
     add_graph_source(p_dist)
     p_dist.add_argument("--max-k", type=int, default=None)
+    p_dist.add_argument(
+        "--kernel", choices=("bigint", "wordarray"), default="bigint",
+        help="bitset-kernel backend for the counting hot path",
+    )
 
     sub.add_parser("datasets", help="list dataset analogs")
 
@@ -95,6 +104,7 @@ def _cmd_count(args) -> int:
     g, eff = _load_graph(args)
     cfg = PivotScaleConfig(
         structure=args.structure,
+        kernel=args.kernel,
         ordering=args.ordering,
         threads=args.threads,
         effective_num_vertices=eff,
@@ -125,7 +135,9 @@ def _cmd_dist(args) -> int:
     from repro.ordering import core_ordering
 
     g, _ = _load_graph(args)
-    dist = count_all_sizes(g, core_ordering(g), max_k=args.max_k).all_counts
+    dist = count_all_sizes(
+        g, core_ordering(g), max_k=args.max_k, kernel=args.kernel
+    ).all_counts
     print(f"graph: {g}")
     for k, c in enumerate(dist):
         if k >= 1 and c:

@@ -31,6 +31,12 @@ class PivotScaleConfig:
     structure:
         Subgraph structure; ``"remap"`` is PivotScale's default
         (Sec. IV), ``"dense"``/``"sparse"`` reproduce the ablations.
+    kernel:
+        Bitset-kernel backend for the counting hot path:
+        ``"bigint"`` (default; Python big-int masks) or
+        ``"wordarray"`` (NumPy uint64 word arrays with fused
+        vectorized intersect/popcount).  Counts and counters are
+        backend-invariant (guarded by ``tests/test_differential.py``).
     ordering:
         ``"heuristic"`` (default) runs the Sec. III-E selector; a
         concrete name forces that ordering (``"core"``, ``"degree"``,
@@ -49,6 +55,7 @@ class PivotScaleConfig:
     """
 
     structure: str = "remap"
+    kernel: str = "bigint"
     ordering: str | None = "heuristic"
     threads: int = 64
     machine: MachineSpec = EPYC_9554
@@ -59,6 +66,10 @@ class PivotScaleConfig:
     def __post_init__(self) -> None:
         if self.structure not in ("dense", "sparse", "remap"):
             raise CountingError(f"unknown structure {self.structure!r}")
+        from repro.kernels import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise CountingError(f"unknown kernel {self.kernel!r}")
         if self.ordering not in _VALID_ORDERINGS:
             raise CountingError(f"unknown ordering {self.ordering!r}")
         if self.threads < 1:

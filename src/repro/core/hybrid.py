@@ -76,7 +76,9 @@ def count_cliques_hybrid(
             counting=r.counting,
         )
     ordering = degree_ordering(g)
-    result = count_kcliques_enumeration(g, k, ordering, structure=cfg.structure)
+    result = count_kcliques_enumeration(
+        g, k, ordering, structure=cfg.structure, kernel=cfg.kernel
+    )
     eff_nv = cfg.effective_num_vertices or float(g.num_vertices)
     work_scale = eff_nv / max(1.0, float(g.num_vertices))
     seconds = (

@@ -70,7 +70,7 @@ def _run(
         raise CountingError("count_cliques expects an undirected graph")
     ordering, decision = _materialize_ordering(g, config)
     dag = directionalize(g, ordering)
-    engine = SCTEngine(g, dag, structure=config.structure)
+    engine = SCTEngine(g, dag, structure=config.structure, kernel=config.kernel)
     wall0 = time.perf_counter()
     counting = engine.count(k) if k is not None else engine.count_all(max_k=max_k)
     wall = time.perf_counter() - wall0

@@ -21,6 +21,7 @@ from repro.counting.sct import CountResult
 from repro.counting.structures import STRUCTURES
 from repro.errors import CountingError
 from repro.graph.csr import CSRGraph
+from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
 
@@ -41,6 +42,7 @@ def count_kcliques_enumeration(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     max_nodes: int | None = None,
+    kernel: str | BitsetKernel | None = None,
 ) -> CountResult:
     """Count k-cliques by DAG enumeration (the Arb-Count baseline).
 
@@ -60,7 +62,7 @@ def count_kcliques_enumeration(
         dag = ordering
     else:
         dag = directionalize(graph, ordering)
-    struct = STRUCTURES[structure](graph, dag)
+    struct = STRUCTURES[structure](graph, dag, kernel=kernel)
 
     n = graph.num_vertices
     totals = Counters()
@@ -87,6 +89,7 @@ def count_kcliques_enumeration(
         per_root_work=per_root_work,
         per_root_memory=per_root_memory,
         structure=struct.name,
+        kernel=struct.kernel.name,
     )
 
 
@@ -99,7 +102,8 @@ def _count_root(struct, v: int, k: int, ctr: Counters, budget: list[int]) -> int
     if d < k - 1:
         return 0
     words = (d + 63) >> 6 or 1
-    row = ctx.row
+    rows = ctx.rows
+    intersect_count = ctx.kernel.intersect_count
     lw = ctx.lookup_weight
 
     # Second-level direction: only explore local ids above the current
@@ -128,9 +132,9 @@ def _count_root(struct, v: int, k: int, ctr: Counters, budget: list[int]) -> int
             i = low.bit_length() - 1
             ctr.index_lookups += lw
             ctr.set_op_words += words
-            nxt = P & row(i) & above[i]
+            nxt, nc = intersect_count(rows, i, P & above[i])
             # Degree-based pruning: not enough vertices left to finish.
-            if nxt.bit_count() >= k - depth - 2:
+            if nc >= k - depth - 2:
                 count += rec(nxt, depth + 1)
             else:
                 ctr.early_terminations += 1

@@ -27,6 +27,7 @@ from repro.counting.binomial import binomial
 from repro.counting.structures import STRUCTURES
 from repro.errors import CountingError
 from repro.graph.csr import CSRGraph
+from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
 
@@ -38,6 +39,7 @@ def per_edge_counts(
     k: int,
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
+    kernel: str | BitsetKernel | None = None,
 ) -> dict[tuple[int, int], int]:
     """k-clique count per edge, keyed by ``(min(u,v), max(u,v))``.
 
@@ -55,7 +57,7 @@ def per_edge_counts(
             raise CountingError("pass a DAG or an ordering")
     else:
         dag = directionalize(graph, ordering)
-    struct = STRUCTURES[structure](graph, dag)
+    struct = STRUCTURES[structure](graph, dag, kernel=kernel)
     per: dict[tuple[int, int], int] = {}
 
     def credit(u: int, v: int, c: int) -> None:
@@ -70,7 +72,9 @@ def per_edge_counts(
 def _root(struct, v: int, k: int, credit) -> None:
     ctx = struct.build(v)
     d = ctx.d
-    row = ctx.row
+    rows = ctx.rows
+    pivot_select = ctx.kernel.pivot_select
+    intersect = ctx.kernel.intersect
     out = [int(g) for g in ctx.out]
     full = (1 << d) - 1
     held_ids: list[int] = [v]
@@ -101,21 +105,7 @@ def _root(struct, v: int, k: int, credit) -> None:
             return
         if held + pivots + pc < k:
             return
-        best = -1
-        best_cnt = -1
-        best_row = 0
-        scan = P
-        while scan:
-            low = scan & -scan
-            r = row(low.bit_length() - 1) & P
-            c = r.bit_count()
-            if c > best_cnt:
-                best_cnt = c
-                best = low.bit_length() - 1
-                best_row = r
-                if c == pc - 1:
-                    break
-            scan ^= low
+        best, best_row, _best_cnt, _edges = pivot_select(rows, P, pc)
         pivot_ids.append(out[best])
         rec(best_row, held, pivots + 1)
         pivot_ids.pop()
@@ -125,7 +115,7 @@ def _root(struct, v: int, k: int, credit) -> None:
             low = cand & -cand
             w = low.bit_length() - 1
             held_ids.append(out[w])
-            rec(row(w) & P, held + 1, pivots)
+            rec(intersect(rows, w, P), held + 1, pivots)
             held_ids.pop()
             P ^= low
             cand ^= low

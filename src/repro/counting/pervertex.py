@@ -19,6 +19,7 @@ from repro.counting.counters import Counters
 from repro.counting.structures import STRUCTURES
 from repro.errors import CountingError
 from repro.graph.csr import CSRGraph
+from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
 
@@ -30,6 +31,7 @@ def per_vertex_counts(
     k: int,
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
+    kernel: str | BitsetKernel | None = None,
 ) -> list[int]:
     """Number of k-cliques containing each vertex (exact ints)."""
     if k < 1:
@@ -42,7 +44,7 @@ def per_vertex_counts(
             raise CountingError("pass a DAG or an ordering")
     else:
         dag = directionalize(graph, ordering)
-    struct = STRUCTURES[structure](graph, dag)
+    struct = STRUCTURES[structure](graph, dag, kernel=kernel)
     n = graph.num_vertices
     per: list[int] = [0] * n
     ctr = Counters()
@@ -54,7 +56,9 @@ def per_vertex_counts(
 def _root(struct, v: int, k: int, per: list[int], ctr: Counters) -> None:
     ctx = struct.build(v)
     d = ctx.d
-    row = ctx.row
+    rows = ctx.rows
+    pivot_select = ctx.kernel.pivot_select
+    intersect = ctx.kernel.intersect
     out = [int(g) for g in ctx.out]
     full = (1 << d) - 1
     held_ids: list[int] = [v]
@@ -83,29 +87,17 @@ def _root(struct, v: int, k: int, per: list[int], ctr: Counters) -> None:
         if held + pivots + pc < k:
             ctr.early_terminations += 1
             return
-        best = -1
-        best_cnt = -1
-        scan = P
-        while scan:
-            low = scan & -scan
-            i = low.bit_length() - 1
-            c = (row(i) & P).bit_count()
-            if c > best_cnt:
-                best_cnt = c
-                best = i
-                if c == pc - 1:
-                    break
-            scan ^= low
+        best, best_row, _best_cnt, _edges = pivot_select(rows, P, pc)
         pivot_ids.append(out[best])
-        rec(row(best) & P, held, pivots + 1)
+        rec(best_row, held, pivots + 1)
         pivot_ids.pop()
         P &= ~(1 << best)
-        cand = P & ~row(best)
+        cand = P & ~best_row
         while cand:
             low = cand & -cand
             w = low.bit_length() - 1
             held_ids.append(out[w])
-            rec(row(w) & P, held + 1, pivots)
+            rec(intersect(rows, w, P), held + 1, pivots)
             held_ids.pop()
             P ^= low
             cand ^= low

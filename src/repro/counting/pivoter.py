@@ -46,8 +46,13 @@ class PivoterRun:
         return PIVOTER_SERIAL_FRACTION
 
 
-def run_pivoter(graph: CSRGraph, k: int) -> PivoterRun:
-    """Count k-cliques the way the original Pivoter release does."""
+def run_pivoter(graph: CSRGraph, k: int, kernel: str | None = None) -> PivoterRun:
+    """Count k-cliques the way the original Pivoter release does.
+
+    ``kernel`` selects the bitset backend (default big-int); the
+    baseline's defining choices — sequential core ordering, dense
+    structure, naive parallelization — are fixed.
+    """
     ordering = core_ordering(graph)
-    engine = SCTEngine(graph, ordering, structure="dense")
+    engine = SCTEngine(graph, ordering, structure="dense", kernel=kernel)
     return PivoterRun(result=engine.count(k), ordering=ordering)

@@ -10,10 +10,15 @@ therefore encodes the clique family ``{H ∪ S : S ⊆ Π}`` exactly once,
 and contributes ``C(|Π|, k - |H|)`` k-cliques — the reason Pivoter's
 cost is independent of ``k``.
 
-Candidate sets and adjacency rows are Python big-int bitsets: ``&`` and
-``int.bit_count()`` do the work of the paper's word-parallel set
-operations, and passing masks down the recursion plays the role of the
-C++ reversible subgraph mutations (see DESIGN.md).
+Candidate sets are Python big-int bitsets passed down the recursion
+(playing the role of the C++ reversible subgraph mutations, see
+DESIGN.md); adjacency rows live in a swappable
+:mod:`repro.kernels` backend.  The fused ``pivot_select`` and
+``intersect_count`` kernels do the work of the paper's word-parallel
+set operations — as big-int ``&`` / ``int.bit_count()`` on the default
+``bigint`` backend, as vectorized NumPy word-array passes on the
+``wordarray`` backend — with identical counts and identical
+:class:`~repro.counting.counters.Counters` either way.
 
 Implementation subtleties carried over from Sec. V-A:
 
@@ -35,6 +40,7 @@ from repro.counting.counters import Counters
 from repro.counting.structures import STRUCTURES, SubgraphStructure
 from repro.errors import CountingError
 from repro.graph.csr import CSRGraph
+from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
 
@@ -65,6 +71,8 @@ class CountResult:
         cache model).
     structure:
         Name of the subgraph structure used.
+    kernel:
+        Name of the bitset-kernel backend used.
     """
 
     count: int | None
@@ -74,6 +82,7 @@ class CountResult:
     per_root_work: np.ndarray
     per_root_memory: np.ndarray
     structure: str
+    kernel: str = "bigint"
 
     @property
     def max_clique_size(self) -> int:
@@ -95,6 +104,11 @@ class SCTEngine:
         already-directionalized DAG.
     structure:
         Subgraph structure name (``"remap"`` default) or an instance.
+    kernel:
+        Bitset-kernel backend name or instance (``"bigint"`` default,
+        ``"wordarray"`` for the NumPy fast path).  Ignored when
+        ``structure`` is an already-built instance (the instance's
+        kernel wins).
     """
 
     def __init__(
@@ -102,6 +116,7 @@ class SCTEngine:
         graph: CSRGraph,
         ordering: Ordering | np.ndarray | CSRGraph,
         structure: str | SubgraphStructure = "remap",
+        kernel: str | BitsetKernel | None = None,
     ) -> None:
         if graph.directed:
             raise CountingError("input graph must be undirected")
@@ -117,12 +132,13 @@ class SCTEngine:
             self.structure = structure
         else:
             try:
-                self.structure = STRUCTURES[structure](graph, dag)
+                self.structure = STRUCTURES[structure](graph, dag, kernel=kernel)
             except KeyError:
                 raise CountingError(
                     f"unknown structure {structure!r}; "
                     f"expected one of {sorted(STRUCTURES)}"
                 ) from None
+        self.kernel = self.structure.kernel
 
     # ------------------------------------------------------------------
     # public API
@@ -189,6 +205,7 @@ class SCTEngine:
             per_root_work=per_root_work,
             per_root_memory=per_root_memory,
             structure=self.structure.name,
+            kernel=self.kernel.name,
         )
 
     # ------------------------------------------------------------------
@@ -202,7 +219,10 @@ class SCTEngine:
         ctr.build_words += ctx.build_words
         ctr.peak_subgraph_bytes = max(ctr.peak_subgraph_bytes, ctx.memory_bytes)
         d = ctx.d
-        row = ctx.row
+        rows = ctx.rows
+        kern = ctx.kernel
+        pivot_select = kern.pivot_select
+        intersect_count = kern.intersect_count
         lw = ctx.lookup_weight
         full = (1 << d) - 1
         binom = binomial
@@ -234,25 +254,9 @@ class SCTEngine:
             if early_termination and held + pivots + pc < k:
                 acc[2] += 1
                 return 0
-            # Pivot selection: scan every candidate's row once.
+            # Pivot selection: one fused scan over the candidates' rows.
             acc[3] += pc
-            edge_sum = 0
-            best = -1
-            best_cnt = -1
-            best_row = 0
-            scan = P
-            while scan:
-                low = scan & -scan
-                r = row(low.bit_length() - 1) & P
-                c = r.bit_count()
-                edge_sum += c
-                if c > best_cnt:
-                    best_cnt = c
-                    best = low.bit_length() - 1
-                    best_row = r
-                    if c == pc - 1:
-                        break  # perfect pivot: adjacent to all others
-                scan ^= low
+            best, best_row, best_cnt, edge_sum = pivot_select(rows, P, pc)
             total = rec(best_row, best_cnt, held, pivots + 1)
             P &= ~(1 << best)
             cand = P & ~best_row
@@ -260,8 +264,7 @@ class SCTEngine:
             held1 = held + 1
             while cand:
                 low = cand & -cand
-                child = row(low.bit_length() - 1) & P
-                cc = child.bit_count()
+                child, cc = intersect_count(rows, low.bit_length() - 1, P)
                 edge_sum += cc
                 total += rec(child, cc, held1, pivots)
                 P ^= low
@@ -286,7 +289,10 @@ class SCTEngine:
         ctr.build_words += ctx.build_words
         ctr.peak_subgraph_bytes = max(ctr.peak_subgraph_bytes, ctx.memory_bytes)
         d = ctx.d
-        row = ctx.row
+        rows = ctx.rows
+        kern = ctx.kernel
+        pivot_select = kern.pivot_select
+        intersect_count = kern.intersect_count
         lw = ctx.lookup_weight
         full = (1 << d) - 1
         cap = len(counts) if max_k is None else max_k + 1
@@ -308,23 +314,7 @@ class SCTEngine:
                     counts[s] += brow[s - held]
                 return
             acc[3] += pc
-            edge_sum = 0
-            best = -1
-            best_cnt = -1
-            best_row = 0
-            scan = P
-            while scan:
-                low = scan & -scan
-                r = row(low.bit_length() - 1) & P
-                c = r.bit_count()
-                edge_sum += c
-                if c > best_cnt:
-                    best_cnt = c
-                    best = low.bit_length() - 1
-                    best_row = r
-                    if c == pc - 1:
-                        break
-                scan ^= low
+            best, best_row, best_cnt, edge_sum = pivot_select(rows, P, pc)
             rec(best_row, best_cnt, held, pivots + 1)
             P &= ~(1 << best)
             cand = P & ~best_row
@@ -332,8 +322,7 @@ class SCTEngine:
             held1 = held + 1
             while cand:
                 low = cand & -cand
-                child = row(low.bit_length() - 1) & P
-                cc = child.bit_count()
+                child, cc = intersect_count(rows, low.bit_length() - 1, P)
                 edge_sum += cc
                 rec(child, cc, held1, pivots)
                 P ^= low
@@ -357,9 +346,10 @@ def count_kcliques(
     k: int,
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
+    kernel: str | BitsetKernel | None = None,
 ) -> CountResult:
     """Count k-cliques of ``graph`` under ``ordering`` — one-shot API."""
-    return SCTEngine(graph, ordering, structure).count(k)
+    return SCTEngine(graph, ordering, structure, kernel=kernel).count(k)
 
 
 def count_all_sizes(
@@ -367,6 +357,9 @@ def count_all_sizes(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     max_k: int | None = None,
+    kernel: str | BitsetKernel | None = None,
 ) -> CountResult:
     """Count cliques of every size (Fig. 1's distribution) — one-shot."""
-    return SCTEngine(graph, ordering, structure).count_all(max_k=max_k)
+    return SCTEngine(graph, ordering, structure, kernel=kernel).count_all(
+        max_k=max_k
+    )

@@ -8,19 +8,23 @@ neighbor list with ``out`` — the paper symmetrizes the first level
 ``[0, d)``.  Local id ``i`` is the position of ``out[i]`` in the sorted
 out-neighbor array.
 
-Structures differ only in :meth:`RootContext.row` — how a row is
-reached during the recursion — and in the modeled per-thread memory
-footprint.
+Rows are stored by a swappable :class:`~repro.kernels.BitsetKernel`
+backend (big-int masks or NumPy word arrays); the ``build_words``
+charge is representation-independent, so the perf model cannot tell
+backends apart.  Structures differ only in :meth:`RootContext.row` —
+how a row is reached during the recursion — and in the modeled
+per-thread memory footprint.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.kernels import BitsetKernel, resolve_kernel
 
 __all__ = ["SubgraphStructure", "RootContext", "build_local_rows"]
 
@@ -28,17 +32,20 @@ _POW2 = [1 << i for i in range(64)]
 
 
 def build_local_rows(
-    g: CSRGraph, out: np.ndarray
-) -> tuple[list[int], float]:
+    g: CSRGraph, out: np.ndarray, kernel: BitsetKernel | None = None
+) -> tuple[Any, float]:
     """Bitset adjacency rows of the subgraph induced by ``out`` on the
-    undirected graph ``g``.
+    undirected graph ``g``, in ``kernel``'s native storage (big-int
+    list for the default ``bigint`` backend).
 
     Returns ``(rows, build_words)`` where ``build_words`` charges one
     unit per neighbor-list entry scanned during the intersection — the
     real induction work the paper attributes to lines 5/14.
     """
+    if kernel is None:
+        kernel = resolve_kernel("bigint")
     d = int(out.size)
-    rows: list[int] = []
+    rows = kernel.alloc_rows(d)
     build_words = 0.0
     for i in range(d):
         nbrs = g.neighbors(int(out[i]))
@@ -48,14 +55,7 @@ def build_local_rows(
         hit = out[idx_clipped] == nbrs
         sel = idx_clipped[hit]
         if sel.size:
-            flags = np.zeros(d, dtype=np.uint8)
-            flags[sel] = 1
-            mask = int.from_bytes(
-                np.packbits(flags, bitorder="little").tobytes(), "little"
-            )
-        else:
-            mask = 0
-        rows.append(mask)
+            kernel.set_row(rows, i, sel)
     return rows, build_words
 
 
@@ -70,8 +70,9 @@ class RootContext:
         Sorted global ids of the subgraph's vertices; local id ``i``
         names ``out[i]``.
     row:
-        Callable ``local id -> bitset row``; the structure-specific
-        index path.
+        Callable ``local id -> big-int bitset row``; the
+        structure-specific index path (the compat view every consumer
+        can fall back to).
     lookup_weight:
         Cost charged per :attr:`row` access (dense/remap 1.0, hash 1.2).
     memory_bytes:
@@ -80,9 +81,25 @@ class RootContext:
     build_words:
         Work spent on the first-level induction (plus remap where
         applicable).
+    kernel:
+        The bitset backend that owns :attr:`rows`.
+    rows:
+        Backend-native row storage for the fused kernels
+        (``intersect_count`` / ``pivot_select``); rows are stored in
+        local-id order.  Valid until the owning structure's next
+        ``build`` call.
     """
 
-    __slots__ = ("d", "out", "row", "lookup_weight", "memory_bytes", "build_words")
+    __slots__ = (
+        "d",
+        "out",
+        "row",
+        "lookup_weight",
+        "memory_bytes",
+        "build_words",
+        "kernel",
+        "rows",
+    )
 
     def __init__(
         self,
@@ -92,6 +109,8 @@ class RootContext:
         lookup_weight: float,
         memory_bytes: int,
         build_words: float,
+        kernel: BitsetKernel | None = None,
+        rows: Any = None,
     ) -> None:
         self.d = d
         self.out = out
@@ -99,6 +118,8 @@ class RootContext:
         self.lookup_weight = lookup_weight
         self.memory_bytes = memory_bytes
         self.build_words = build_words
+        self.kernel = kernel if kernel is not None else resolve_kernel("bigint")
+        self.rows = rows
 
 
 class SubgraphStructure(abc.ABC):
@@ -106,7 +127,14 @@ class SubgraphStructure(abc.ABC):
 
     Instances are meant to be reused across roots — the paper's
     allocation-reuse discipline (Sec. V-B); the dense structure in
-    particular allocates its ``|V|``-sized index once.
+    particular allocates its ``|V|``-sized index once, and word-array
+    kernels reuse their row buffers the same way.
+
+    Parameters
+    ----------
+    kernel:
+        Bitset backend name or instance (default ``"bigint"``); owns
+        the row storage every built context exposes as ``ctx.rows``.
     """
 
     #: registry name ("dense" / "sparse" / "remap")
@@ -114,13 +142,19 @@ class SubgraphStructure(abc.ABC):
     #: cost per index access, relative to a direct array load
     lookup_weight: float = 1.0
 
-    def __init__(self, graph: CSRGraph, dag: CSRGraph) -> None:
+    def __init__(
+        self,
+        graph: CSRGraph,
+        dag: CSRGraph,
+        kernel: str | BitsetKernel | None = None,
+    ) -> None:
         if graph.directed or not dag.directed:
             raise ValueError("expected (undirected graph, DAG) pair")
         if graph.num_vertices != dag.num_vertices:
             raise ValueError("graph and DAG vertex counts differ")
         self.graph = graph
         self.dag = dag
+        self.kernel = resolve_kernel(kernel)
 
     @abc.abstractmethod
     def build(self, v: int) -> RootContext:

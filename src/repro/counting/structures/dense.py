@@ -9,7 +9,10 @@ plateau the compact structures fix.
 
 The slot array is allocated once and reused across roots (only the
 touched entries are reset), mirroring the paper's allocation-reuse
-discipline.
+discipline.  The reset happens *before* any new state is written and
+``_touched`` is only reassigned once the new root's rows exist, so an
+exception mid-build (e.g. out of memory during induction) leaves the
+slot array clean — no stale adjacency can leak into the next root.
 """
 
 from __future__ import annotations
@@ -29,26 +32,32 @@ class DenseStructure(SubgraphStructure):
     name = "dense"
     lookup_weight = 1.0
 
-    def __init__(self, graph, dag):  # noqa: D107 - see base class
-        super().__init__(graph, dag)
+    def __init__(self, graph, dag, kernel=None):  # noqa: D107 - see base class
+        super().__init__(graph, dag, kernel)
+        # slot value = local row index + 1; 0 = empty.
         self._slots: list[int] = [0] * graph.num_vertices
         self._touched: list[int] = []
 
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)
-        # Reset only previously used slots (cheap reuse, not realloc).
+        # Reset only previously used slots (cheap reuse, not realloc),
+        # and capture the cleared state before anything can raise: if
+        # the induction below fails, _touched stays empty and every
+        # slot is 0, so the next build starts from a clean index.
         for gid in self._touched:
             self._slots[gid] = 0
-        self._touched = [int(g) for g in out]
-        rows, build_words = build_local_rows(self.graph, out)
+        self._touched = []
+        rows, build_words = build_local_rows(self.graph, out, self.kernel)
+        touched = [int(g) for g in out]
         slots = self._slots
-        for gid, mask in zip(self._touched, rows):
-            slots[gid] = mask
-        out_list = self._touched
+        for pos, gid in enumerate(touched):
+            slots[gid] = pos + 1
+        self._touched = touched
+        kernel = self.kernel
 
-        def row(i: int, _slots=slots, _out=out_list) -> int:
-            return _slots[_out[i]]
+        def row(i: int, _slots=slots, _out=touched, _rows=rows, _k=kernel) -> int:
+            return _k.row_int(_rows, _slots[_out[i]] - 1)
 
         memory = 8 * self.graph.num_vertices + self.bitset_bytes(d)
         return RootContext(
@@ -58,4 +67,6 @@ class DenseStructure(SubgraphStructure):
             lookup_weight=self.lookup_weight,
             memory_bytes=memory,
             build_words=build_words,
+            kernel=kernel,
+            rows=rows,
         )

@@ -28,16 +28,20 @@ class RemapStructure(SubgraphStructure):
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)
-        rows, build_words = build_local_rows(self.graph, out)
+        kernel = self.kernel
+        rows, build_words = build_local_rows(self.graph, out, kernel)
         # The one-time remap pass: one (modeled) hash insertion per
         # member; afterwards rows are indexed by local id directly.
         build_words += 1.2 * d
+
         memory = 8 * d + self.bitset_bytes(d)
         return RootContext(
             d=d,
             out=out,
-            row=rows.__getitem__,
+            row=kernel.row_accessor(rows),
             lookup_weight=self.lookup_weight,
             memory_bytes=memory,
             build_words=build_words,
+            kernel=kernel,
+            rows=rows,
         )

@@ -32,12 +32,14 @@ class SparseStructure(SubgraphStructure):
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)
-        rows, build_words = build_local_rows(self.graph, out)
-        table = {int(g): mask for g, mask in zip(out, rows)}
+        kernel = self.kernel
+        rows, build_words = build_local_rows(self.graph, out, kernel)
+        # hash map: global id -> local row index.
+        table = {int(g): i for i, g in enumerate(out)}
         out_list = [int(g) for g in out]
 
-        def row(i: int, _table=table, _out=out_list) -> int:
-            return _table[_out[i]]
+        def row(i: int, _table=table, _out=out_list, _rows=rows, _k=kernel) -> int:
+            return _k.row_int(_rows, _table[_out[i]])
 
         memory = _HASH_ENTRY_BYTES * d + self.bitset_bytes(d)
         return RootContext(
@@ -47,4 +49,6 @@ class SparseStructure(SubgraphStructure):
             lookup_weight=self.lookup_weight,
             memory_bytes=memory,
             build_words=build_words,
+            kernel=kernel,
+            rows=rows,
         )

@@ -1,0 +1,60 @@
+"""Swappable bitset kernels for the counting hot path.
+
+Two interchangeable backends implement the word-parallel
+intersect-and-count operations at the heart of every engine:
+
+* ``"bigint"`` — Python arbitrary-precision ints as bitsets (the
+  reference semantics; the default);
+* ``"wordarray"`` — NumPy uint64 word arrays with vectorized ``&`` and
+  byte-LUT popcount, fused ``intersect_count`` and ``pivot_select``.
+
+Select a backend per run via ``PivotScaleConfig(kernel=...)``, the CLI
+``--kernel`` flag, or any engine's ``kernel=`` parameter.  The
+differential suite (``tests/test_differential.py``) holds the backends
+to byte-identical counts and counters; ``benchmarks/bench_kernels.py``
+records the throughput gap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CountingError
+from repro.kernels.base import BitsetKernel, PivotChoice
+from repro.kernels.bigint import BigIntKernel
+from repro.kernels.wordarray import WordArrayKernel
+
+KERNELS: dict[str, type[BitsetKernel]] = {
+    "bigint": BigIntKernel,
+    "wordarray": WordArrayKernel,
+}
+"""Registry of kernel backends, keyed by CLI/config name."""
+
+DEFAULT_KERNEL = "bigint"
+
+
+def resolve_kernel(kernel: str | BitsetKernel | None = None) -> BitsetKernel:
+    """Return a kernel *instance* for a name, instance, or ``None``.
+
+    Backends may hold preallocated scratch buffers, so a fresh instance
+    is created per call — do not share one across threads.
+    """
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
+    if isinstance(kernel, BitsetKernel):
+        return kernel
+    try:
+        return KERNELS[kernel]()
+    except KeyError:
+        raise CountingError(
+            f"unknown kernel {kernel!r}; expected one of {sorted(KERNELS)}"
+        ) from None
+
+
+__all__ = [
+    "BitsetKernel",
+    "PivotChoice",
+    "BigIntKernel",
+    "WordArrayKernel",
+    "KERNELS",
+    "DEFAULT_KERNEL",
+    "resolve_kernel",
+]

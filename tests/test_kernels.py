@@ -1,0 +1,186 @@
+"""Property-based tests: word-array kernels == big-int semantics.
+
+The big-int backend is the semantic oracle; every operation of every
+registered backend must round-trip against it bit-for-bit — including
+the pivot argmax tie-breaks and the perfect-pivot early exit that make
+the engines' :class:`~repro.counting.counters.Counters`
+backend-invariant.  Widths deliberately straddle the 64-bit word
+boundary (empty rows, 1-bit rows, 63/64/65, multi-word).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CountingError
+from repro.kernels import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    BigIntKernel,
+    WordArrayKernel,
+    resolve_kernel,
+)
+
+WIDTHS = [0, 1, 2, 7, 63, 64, 65, 100, 128, 130, 200]
+
+
+# ------------------------------------------------------------ strategies
+@st.composite
+def rows_and_mask(draw):
+    """(d, row masks without self-bits, a candidate mask)."""
+    d = draw(st.sampled_from([1, 2, 5, 17, 63, 64, 65, 90, 130]))
+    masks = [
+        draw(st.integers(min_value=0, max_value=(1 << d) - 1)) & ~(1 << i)
+        for i in range(d)
+    ]
+    P = draw(st.integers(min_value=0, max_value=(1 << d) - 1))
+    return d, masks, P
+
+
+def _pair(d, masks):
+    bi, wa = BigIntKernel(), WordArrayKernel()
+    return (bi, bi.rows_from_ints(masks, d)), (wa, wa.rows_from_ints(masks, d))
+
+
+# ------------------------------------------------------------ registry
+def test_registry_and_resolve():
+    assert set(KERNELS) == {"bigint", "wordarray"}
+    assert DEFAULT_KERNEL == "bigint"
+    for name, cls in KERNELS.items():
+        assert cls.name == name
+        assert resolve_kernel(name).name == name
+    inst = WordArrayKernel()
+    assert resolve_kernel(inst) is inst
+    assert resolve_kernel(None).name == "bigint"
+    with pytest.raises(CountingError):
+        resolve_kernel("avx512")
+
+
+def test_resolve_returns_fresh_instances():
+    # Backends hold scratch buffers; sharing instances across engines
+    # would alias row storage.
+    assert resolve_kernel("wordarray") is not resolve_kernel("wordarray")
+
+
+# ------------------------------------------------------------ round-trips
+@pytest.mark.parametrize("d", WIDTHS)
+def test_row_int_round_trip(d):
+    rng = np.random.default_rng(d)
+    masks = [
+        int(rng.integers(0, 2**63)) % (1 << d) & ~(1 << i) if d else 0
+        for i in range(d)
+    ]
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.rows_from_ints(masks, d)
+        assert kern.num_rows(rows) == d
+        for i in range(d):
+            assert kern.row_int(rows, i) == masks[i]
+            assert kern.row_accessor(rows)(i) == masks[i]
+
+
+@pytest.mark.parametrize("d", [1, 63, 64, 65, 130])
+def test_empty_rows(d):
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.alloc_rows(d)
+        for i in range(d):
+            assert kern.row_int(rows, i) == 0
+        assert list(kern.count_rows(rows, (1 << d) - 1)) == [0] * d
+        # set then clear a row
+        kern.set_row(rows, 0, np.array([d - 1], dtype=np.int64))
+        assert kern.row_int(rows, 0) == 1 << (d - 1)
+        kern.set_row(rows, 0, np.array([], dtype=np.int64))
+        assert kern.row_int(rows, 0) == 0
+
+
+def test_zero_width_rows():
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.alloc_rows(0)
+        assert kern.num_rows(rows) == 0
+        assert list(kern.count_rows(rows, 0)) == []
+
+
+# ------------------------------------------------------------ op parity
+@settings(max_examples=120, deadline=None)
+@given(rows_and_mask())
+def test_intersect_ops_match_bigint(data):
+    d, masks, P = data
+    (bi, rb), (wa, rw) = _pair(d, masks)
+    assert list(bi.count_rows(rb, P)) == list(wa.count_rows(rw, P))
+    for i in range(d):
+        expect = masks[i] & P
+        assert bi.intersect(rb, i, P) == expect
+        assert wa.intersect(rw, i, P) == expect
+        assert bi.intersect_count(rb, i, P) == (expect, expect.bit_count())
+        assert wa.intersect_count(rw, i, P) == (expect, expect.bit_count())
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_and_mask())
+def test_pivot_select_matches_bigint(data):
+    d, masks, P = data
+    pc = P.bit_count()
+    if pc == 0:
+        return
+    (bi, rb), (wa, rw) = _pair(d, masks)
+    assert bi.pivot_select(rb, P, pc) == wa.pivot_select(rw, P, pc)
+
+
+def test_pivot_select_tie_break_is_lowest_id():
+    # Two candidates with identical counts: the scalar scan keeps the
+    # first maximum (ascending local id); the vectorized argmax must
+    # break the tie identically.
+    d = 70  # crosses a word boundary
+    full = (1 << d) - 1
+    masks = [full & ~(1 << i) for i in range(d)]  # complete graph K_d
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.rows_from_ints(masks, d)
+        best, best_row, best_cnt, edge_sum = kern.pivot_select(rows, full, d)
+        assert best == 0  # every vertex ties; lowest id wins
+        assert best_cnt == d - 1  # perfect pivot
+        assert best_row == full & ~1
+        assert edge_sum == d - 1  # scan stops at the first (perfect) row
+
+
+def test_pivot_select_perfect_pivot_early_exit_accounting():
+    # Row 2 is the first perfect pivot; the scan must charge rows 0-2
+    # only, on both backends.
+    d = 66
+    sub = (1 << 5) - 1  # P = {0..4}
+    masks = [0] * d
+    masks[0] = 0b00010  # |row0 ∩ P| = 1
+    masks[1] = 0b00101  # |row1 ∩ P| = 2
+    masks[2] = 0b11011  # |row2 ∩ P| = 4 == pc-1 -> stop
+    masks[3] = sub & ~(1 << 3)  # would also be perfect, never scanned
+    masks[4] = 1 << 65  # out-of-P high word, never scanned
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.rows_from_ints(masks, d)
+        best, best_row, best_cnt, edge_sum = kern.pivot_select(rows, sub, 5)
+        assert best == 2
+        assert best_cnt == 4
+        assert best_row == masks[2]
+        assert edge_sum == 1 + 2 + 4
+
+
+def test_pivot_select_respects_mask_outside_bits():
+    # Bits of a row outside P must not leak into counts or best_row.
+    d = 130
+    masks = [((1 << d) - 1) & ~(1 << i) for i in range(d)]
+    P = (1 << 3) | (1 << 64) | (1 << 129)
+    for kern in (BigIntKernel(), WordArrayKernel()):
+        rows = kern.rows_from_ints(masks, d)
+        best, best_row, best_cnt, edge_sum = kern.pivot_select(rows, P, 3)
+        assert best == 3
+        assert best_cnt == 2  # the other two candidates
+        assert best_row == P & ~(1 << 3)
+
+
+def test_wordarray_buffer_reuse_does_not_corrupt_new_roots():
+    # The word-array backend reuses one preallocated buffer across
+    # alloc_rows calls; a later (smaller) allocation must start zeroed.
+    kern = WordArrayKernel()
+    big = kern.alloc_rows(130)
+    for i in range(130):
+        kern.set_row(big, i, np.arange(i + 1, dtype=np.int64))
+    small = kern.alloc_rows(70)
+    for i in range(70):
+        assert kern.row_int(small, i) == 0

@@ -115,3 +115,74 @@ def test_bitset_bytes_model(pair):
     assert s.bitset_bytes(0) == 0
     assert s.bitset_bytes(64) == 64 * 8
     assert s.bitset_bytes(65) == 65 * 2 * 8
+
+
+# ----------------------------------------------------------------------
+# kernel-backend plumbing and the dense stale-slot regression
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kernel", ["bigint", "wordarray"])
+def test_structures_same_rows_across_kernels(pair, kernel):
+    g, dag = pair
+    for cls in STRUCTURES.values():
+        base = cls(g, dag)  # default bigint
+        alt = cls(g, dag, kernel=kernel)
+        for v in range(0, g.num_vertices, 7):
+            cb = base.build(v)
+            ca = alt.build(v)
+            assert ca.d == cb.d
+            assert ca.kernel.name == kernel
+            for i in range(cb.d):
+                assert ca.row(i) == cb.row(i), (cls.name, v, i)
+
+
+@pytest.mark.parametrize("kernel", ["bigint", "wordarray"])
+def test_dense_no_stale_adjacency_between_roots(pair, kernel):
+    """Regression: back-to-back builds must not leak adjacency.
+
+    The dense structure reuses one |V|-sized slot array across roots;
+    a reset bug (stale ``_touched`` bookkeeping) would let root A's
+    rows alias into root B's subgraph.  Compare every back-to-back
+    build against a fresh structure that cannot have stale state.
+    """
+    g, dag = pair
+    shared = DenseStructure(g, dag, kernel=kernel)
+    roots = sorted(range(g.num_vertices),
+                   key=lambda v: -dag.degree(v))[:6]
+    for v in roots + list(reversed(roots)):  # revisit roots back-to-back
+        got = shared.build(v)
+        fresh = DenseStructure(g, dag, kernel=kernel).build(v)
+        assert got.d == fresh.d
+        for i in range(got.d):
+            assert got.row(i) == fresh.row(i), (v, i)
+
+
+@pytest.mark.parametrize("kernel", ["bigint", "wordarray"])
+def test_dense_exception_mid_build_leaves_clean_slots(pair, kernel, monkeypatch):
+    """A failed induction must leave the slot index clean: the next
+    build starts from zeroed slots and an empty touched list."""
+    import repro.counting.structures.dense as dense_mod
+
+    g, dag = pair
+    dense = DenseStructure(g, dag, kernel=kernel)
+    hub = int(np.argmax(dag.degrees))
+    dense.build(hub)  # populate slots with a large root
+
+    real = dense_mod.build_local_rows
+
+    def boom(*args, **kwargs):
+        raise MemoryError("induced failure mid-build")
+
+    monkeypatch.setattr(dense_mod, "build_local_rows", boom)
+    with pytest.raises(MemoryError):
+        dense.build(hub)
+    monkeypatch.setattr(dense_mod, "build_local_rows", real)
+
+    # The failed build reset everything it had touched; no stale
+    # adjacency from the first build may survive.
+    assert dense._touched == []
+    assert all(s == 0 for s in dense._slots)
+    ref = DenseStructure(g, dag, kernel=kernel).build(hub)
+    got = dense.build(hub)
+    assert [got.row(i) for i in range(got.d)] == [
+        ref.row(i) for i in range(ref.d)
+    ]
