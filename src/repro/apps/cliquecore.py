@@ -26,22 +26,32 @@ from repro.counting.pervertex import per_vertex_counts
 from repro.errors import CountingError
 from repro.graph.csr import CSRGraph
 from repro.ordering.core import core_ordering
+from repro.runtime.controller import RunController
 
 __all__ = ["kclique_core_numbers", "kclique_core_subgraph"]
 
 
-def kclique_core_numbers(g: CSRGraph, k: int) -> list[int]:
+def kclique_core_numbers(
+    g: CSRGraph, k: int, controller: RunController | None = None
+) -> list[int]:
     """Per-vertex k-clique core numbers (exact peel).
 
     ``k = 2`` reproduces the classic core decomposition.  Intended for
     the analog-scale graphs this repository works at: the peel is
     ``O(n)`` rounds with local clique re-enumeration per removal.
+    ``controller`` budgets the counting phase (the dominant cost) via
+    :func:`~repro.counting.pervertex.per_vertex_counts`.
     """
     if k < 2:
         raise CountingError("k-clique cores need k >= 2")
     n = g.num_vertices
     adj = [set(map(int, g.neighbors(v))) for v in range(n)]
-    counts = [int(c) for c in per_vertex_counts(g, k, core_ordering(g))]
+    counts = [
+        int(c)
+        for c in per_vertex_counts(
+            g, k, core_ordering(g), controller=controller
+        )
+    ]
     core = [0] * n
     alive = [True] * n
     heap = [(counts[v], v) for v in range(n)]

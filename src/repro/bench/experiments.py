@@ -20,11 +20,10 @@ from repro.bench import paper_data
 from repro.bench.harness import Table, fmt_count, fmt_seconds, geometric_mean
 from repro.core import PivotScaleConfig, count_cliques
 from repro.counting import count_all_sizes, count_kcliques
-from repro.counting.arbcount import (
-    EnumerationBudgetExceeded,
-    count_kcliques_enumeration,
-)
+from repro.counting.arbcount import count_kcliques_enumeration
 from repro.counting.pivoter import PIVOTER_SERIAL_FRACTION
+from repro.errors import BudgetExceededError
+from repro.runtime import Budget, RunController
 from repro.counting.sct import CountResult
 from repro.datasets import dataset_names, get_spec, load
 from repro.graph.stats import degree_histogram
@@ -722,10 +721,13 @@ def table5_comparison(
                 )
             )
             rows["pivoter"].append(pivoter_s)
-            # Arb-Count: enumeration with degree ordering, node budget.
+            # Arb-Count: enumeration with degree ordering, node budget
+            # metered by a run controller so the over-budget cell can
+            # report how much work was actually spent.
+            arb_ctl = RunController(Budget(max_nodes=_ENUM_BUDGET))
             try:
                 ra = count_kcliques_enumeration(
-                    g, k, degree, max_nodes=_ENUM_BUDGET
+                    g, k, degree, controller=arb_ctl
                 )
                 arb_s = (
                     _model_ordering_seconds(name, degree.cost)
@@ -734,8 +736,10 @@ def table5_comparison(
                     )
                 )
                 rows["arbcount"].append(arb_s)
-            except EnumerationBudgetExceeded:
+            except BudgetExceededError as exc:
                 rows["arbcount"].append(None)  # the paper's "> 2h"
+                spent = exc.spent or arb_ctl.spent_snapshot()
+                rows.setdefault("arbcount_spent", {})[k] = spent.as_dict()
             # GPU-Pivot model from the core-ordering counters.
             scale = _ordering_work_scale(name)
             max_frac = (
@@ -758,12 +762,24 @@ def table5_comparison(
             )
             rows["pivotscale"].append(rps.total_model_seconds)
         data[name] = rows
+        spent_by_k = rows.get("arbcount_spent", {})
         for alg in ("pivoter", "arbcount", "gpu_v100", "gpu_a100",
                     "pivotscale"):
-            t.add(name, alg, *(
-                fmt_seconds(v) if v is not None else ">budget"
-                for v in rows[alg]
-            ))
+            cells = []
+            for kk, v in zip(ks, rows[alg]):
+                if v is not None:
+                    cells.append(fmt_seconds(v))
+                else:
+                    s = spent_by_k.get(kk)
+                    if s:
+                        n = s["nodes"]
+                        nodes = (
+                            f"{n / 1e6:.1f}M" if n >= 10**6 else f"{n:,}"
+                        )
+                        cells.append(f">budget@{nodes}")
+                    else:
+                        cells.append(">budget")
+            t.add(name, alg, *cells)
         # Shape checks per graph.
         ps, pv = rows["pivotscale"], rows["pivoter"]
         res.check(

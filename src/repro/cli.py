@@ -15,8 +15,13 @@ Examples::
     python -m repro count --dataset orkut -k 8
     python -m repro count --dataset orkut -k 8 --kernel wordarray
     python -m repro count --edge-list my.el -k 5 --structure sparse
-    python -m repro dist --dataset dblp
+    python -m repro count --dataset orkut -k 9 --max-nodes 100000 --degrade
+    python -m repro dist --dataset dblp --checkpoint run.ckpt
+    python -m repro dist --dataset dblp --checkpoint run.ckpt --resume
     python -m repro orderings --dataset skitter
+
+Exit codes: 0 success, 2 usage/input error, 3 budget exhausted without
+``--degrade``.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import BudgetExceededError, ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +46,24 @@ def build_parser() -> argparse.ArgumentParser:
         src = p.add_mutually_exclusive_group(required=True)
         src.add_argument("--dataset", help="built-in analog name")
         src.add_argument("--edge-list", help="path to a whitespace edge list")
+
+    def add_resilience(p: argparse.ArgumentParser) -> None:
+        grp = p.add_argument_group("resilience")
+        grp.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget for the counting phase")
+        grp.add_argument("--max-nodes", type=int, default=None,
+                         help="recursion-node budget")
+        grp.add_argument("--max-memory", type=int, default=None,
+                         metavar="BYTES",
+                         help="per-root subgraph memory watermark")
+        grp.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="write per-root progress to a JSON checkpoint")
+        grp.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint (bit-identical)")
+        grp.add_argument("--degrade", action="store_true",
+                         help="on budget exhaustion, return a flagged "
+                              "sampling estimate instead of failing")
 
     p_count = sub.add_parser("count", help="count k-cliques")
     add_graph_source(p_count)
@@ -62,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="modeled thread count")
     p_count.add_argument("--per-vertex", action="store_true",
                          help="also print the top-10 per-vertex counts")
+    add_resilience(p_count)
 
     p_dist = sub.add_parser("dist", help="clique-size distribution")
     add_graph_source(p_dist)
@@ -70,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("bigint", "wordarray"), default="bigint",
         help="bitset-kernel backend for the counting hot path",
     )
+    add_resilience(p_dist)
 
     sub.add_parser("datasets", help="list dataset analogs")
 
@@ -98,6 +123,23 @@ def _load_graph(args):
     return read_edge_list(args.edge_list), None
 
 
+def _resilience_kwargs(args) -> dict:
+    return {
+        "deadline_seconds": args.deadline,
+        "max_nodes": args.max_nodes,
+        "max_memory_bytes": args.max_memory,
+        "checkpoint_path": args.checkpoint,
+        "resume": args.resume,
+        "degrade": args.degrade,
+    }
+
+
+def _print_budget(spent) -> None:
+    if spent is not None:
+        print(f"budget spent: {spent.nodes:,} nodes, "
+              f"{spent.seconds:.3f} s, {spent.roots_done:,} roots")
+
+
 def _cmd_count(args) -> int:
     from repro.core import PivotScaleConfig, count_cliques
 
@@ -108,13 +150,19 @@ def _cmd_count(args) -> int:
         ordering=args.ordering,
         threads=args.threads,
         effective_num_vertices=eff,
+        **_resilience_kwargs(args),
     )
     r = count_cliques(g, args.k, cfg)
     print(f"graph: {g}")
     print(f"ordering: {r.ordering.name} (max out-degree {r.max_out_degree})")
     if r.decision is not None:
         print(f"heuristic: {r.decision.reason}")
-    print(f"{args.k}-cliques: {r.count:,}")
+    if r.approximate:
+        print(f"{args.k}-cliques: ~{r.count:,.0f} "
+              f"(approximate; degraded from {r.degraded_from})")
+    else:
+        print(f"{args.k}-cliques: {r.count:,}")
+    _print_budget(r.budget_spent)
     print(f"modeled {args.threads}-thread time: "
           f"{r.total_model_seconds:.6g} s "
           f"(wall: {r.wall_seconds:.3f} s single-core)")
@@ -131,17 +179,33 @@ def _cmd_count(args) -> int:
 
 
 def _cmd_dist(args) -> int:
-    from repro.counting import count_all_sizes
+    from repro.core import PivotScaleConfig
+    from repro.counting.sct import SCTEngine
     from repro.ordering import core_ordering
 
     g, _ = _load_graph(args)
-    dist = count_all_sizes(
-        g, core_ordering(g), max_k=args.max_k, kernel=args.kernel
-    ).all_counts
+    cfg = PivotScaleConfig(kernel=args.kernel, **_resilience_kwargs(args))
+    ctl = cfg.make_controller()
+    engine = SCTEngine(g, core_ordering(g), kernel=args.kernel)
+    try:
+        r = engine.count_all(max_k=args.max_k, controller=ctl)
+    except BudgetExceededError as e:
+        if ctl is None or not ctl.degrade:
+            raise
+        from repro.runtime.degrade import degrade_to_sampling
+
+        r = degrade_to_sampling(
+            engine, k=None, max_k=args.max_k, state=ctl.state(), cause=e
+        )
     print(f"graph: {g}")
-    for k, c in enumerate(dist):
+    if r.approximate:
+        print(f"(approximate; degraded from {r.degraded_from})")
+    for k, c in enumerate(r.all_counts):
         if k >= 1 and c:
-            print(f"  k={k:3d}: {c:,}")
+            print(f"  k={k:3d}: ~{c:,.0f}" if r.approximate
+                  else f"  k={k:3d}: {c:,}")
+    if ctl is not None:
+        _print_budget(ctl.spent_snapshot())
     return 0
 
 
@@ -240,6 +304,13 @@ def main(argv: list[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except BudgetExceededError as exc:
+        print(f"budget exhausted: {exc}", file=sys.stderr)
+        if exc.spent is not None:
+            print(f"  spent: {exc.spent.as_dict()}", file=sys.stderr)
+        print("  (re-run with --degrade for a flagged approximation, or "
+              "--checkpoint/--resume to continue later)", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

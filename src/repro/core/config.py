@@ -8,6 +8,8 @@ from repro.errors import CountingError, ParallelModelError
 from repro.ordering.heuristic import HeuristicConfig
 from repro.parallel.machine import EPYC_9554, MachineSpec
 from repro.parallel.sched import DynamicScheduler, Scheduler
+from repro.runtime.budget import Budget
+from repro.runtime.controller import RunController
 
 __all__ = ["PivotScaleConfig"]
 
@@ -52,6 +54,18 @@ class PivotScaleConfig:
     effective_num_vertices:
         Paper-scale ``|V|`` when counting a scaled-down analog
         (see :mod:`repro.datasets`); ``None`` uses the graph's own.
+    deadline_seconds / max_nodes / max_memory_bytes:
+        Resilience budgets (``None`` = unlimited): wall-clock deadline,
+        recursion-node cap, and per-root memory watermark enforced by
+        the :class:`~repro.runtime.RunController`.
+    checkpoint_path / resume:
+        JSON checkpoint location and whether to resume from it; a
+        resumed all-k run is bit-identical to an uninterrupted one.
+    degrade:
+        Enable the graceful-degradation ladder (kernel fallback and
+        budget-exhaustion root sampling) instead of hard failure.
+    checkpoint_every:
+        Autosave period in completed roots.
     """
 
     structure: str = "remap"
@@ -62,6 +76,13 @@ class PivotScaleConfig:
     scheduler: Scheduler = field(default_factory=DynamicScheduler)
     heuristic: HeuristicConfig = field(default_factory=HeuristicConfig)
     effective_num_vertices: float | None = None
+    deadline_seconds: float | None = None
+    max_nodes: int | None = None
+    max_memory_bytes: int | None = None
+    checkpoint_path: str | None = None
+    resume: bool = False
+    degrade: bool = False
+    checkpoint_every: int = 64
 
     def __post_init__(self) -> None:
         if self.structure not in ("dense", "sparse", "remap"):
@@ -74,3 +95,43 @@ class PivotScaleConfig:
             raise CountingError(f"unknown ordering {self.ordering!r}")
         if self.threads < 1:
             raise ParallelModelError("threads must be >= 1")
+        # Budget() validates the limits; build one eagerly so a bad
+        # config fails at construction, not mid-run.
+        self.budget = Budget(
+            deadline_seconds=self.deadline_seconds,
+            max_nodes=self.max_nodes,
+            max_memory_bytes=self.max_memory_bytes,
+        )
+        if self.resume and self.checkpoint_path is None:
+            raise CountingError("resume=True requires a checkpoint_path")
+        if self.checkpoint_every < 1:
+            raise CountingError("checkpoint_every must be >= 1")
+
+    @property
+    def wants_controller(self) -> bool:
+        """Whether any resilience knob deviates from the defaults."""
+        return (
+            not self.budget.unlimited
+            or self.checkpoint_path is not None
+            or self.resume
+            or self.degrade
+        )
+
+    def make_controller(self, *, faults=None, clock=None) -> RunController | None:
+        """Build the run controller these knobs describe.
+
+        Returns ``None`` when every resilience knob is at its default
+        and no faults are injected, so the unsupervised fast path stays
+        untouched.
+        """
+        if not self.wants_controller and faults is None:
+            return None
+        return RunController(
+            self.budget,
+            checkpoint_path=self.checkpoint_path,
+            resume=self.resume,
+            degrade=self.degrade,
+            faults=faults,
+            clock=clock,
+            checkpoint_every=self.checkpoint_every,
+        )

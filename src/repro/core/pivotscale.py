@@ -20,7 +20,7 @@ import time
 from repro.core.config import PivotScaleConfig
 from repro.core.result import CliqueCountResult, PhaseBreakdown
 from repro.counting.sct import SCTEngine
-from repro.errors import CountingError
+from repro.errors import BudgetExceededError, CountingError
 from repro.graph.csr import CSRGraph
 from repro.ordering.approx_core import approx_core_ordering
 from repro.ordering.base import Ordering
@@ -32,6 +32,8 @@ from repro.ordering.heuristic import HeuristicDecision, compute_ordering, select
 from repro.ordering.kcore import kcore_ordering
 from repro.parallel.simulate import simulate_counting, simulate_ordering
 from repro.perfmodel.cost import CostModel
+from repro.runtime.controller import RunController
+from repro.runtime.degrade import degrade_to_sampling
 
 __all__ = ["count_cliques", "count_cliques_all_sizes"]
 
@@ -65,14 +67,29 @@ def _run(
     k: int | None,
     config: PivotScaleConfig,
     max_k: int | None = None,
+    controller: RunController | None = None,
 ) -> CliqueCountResult:
     if g.directed:
         raise CountingError("count_cliques expects an undirected graph")
     ordering, decision = _materialize_ordering(g, config)
     dag = directionalize(g, ordering)
     engine = SCTEngine(g, dag, structure=config.structure, kernel=config.kernel)
+    ctl = controller if controller is not None else config.make_controller()
     wall0 = time.perf_counter()
-    counting = engine.count(k) if k is not None else engine.count_all(max_k=max_k)
+    try:
+        counting = (
+            engine.count(k, controller=ctl)
+            if k is not None
+            else engine.count_all(max_k=max_k, controller=ctl)
+        )
+    except BudgetExceededError as e:
+        if ctl is None or not ctl.degrade:
+            raise
+        # Bottom rung of the ladder: keep the exact per-root progress,
+        # estimate the uncounted roots, flag the result approximate.
+        counting = degrade_to_sampling(
+            engine, k=k, max_k=max_k, state=ctl.state(), cause=e
+        )
     wall = time.perf_counter() - wall0
 
     eff_nv = config.effective_num_vertices or float(g.num_vertices)
@@ -120,13 +137,22 @@ def _run(
         counting_phase=counting_phase,
         phases=phases,
         wall_seconds=wall,
+        approximate=counting.approximate,
+        degraded_from=counting.degraded_from,
+        budget_spent=ctl.spent_snapshot() if ctl is not None else None,
     )
 
 
 def count_cliques(
-    g: CSRGraph, k: int, config: PivotScaleConfig | None = None
+    g: CSRGraph,
+    k: int,
+    config: PivotScaleConfig | None = None,
+    controller: RunController | None = None,
 ) -> CliqueCountResult:
     """Count k-cliques with the full PivotScale pipeline.
+
+    ``controller`` overrides the one the config's resilience knobs
+    would build (budgets, checkpoint/resume, degradation, faults).
 
     >>> from repro.graph.generators import complete_graph
     >>> count_cliques(complete_graph(6), 3).count
@@ -134,13 +160,16 @@ def count_cliques(
     """
     if k < 1:
         raise CountingError(f"clique size k must be >= 1, got {k}")
-    return _run(g, k, config or PivotScaleConfig())
+    return _run(g, k, config or PivotScaleConfig(), controller=controller)
 
 
 def count_cliques_all_sizes(
     g: CSRGraph,
     config: PivotScaleConfig | None = None,
     max_k: int | None = None,
+    controller: RunController | None = None,
 ) -> CliqueCountResult:
     """Count cliques of every size (the Sec. V-A all-k variant)."""
-    return _run(g, None, config or PivotScaleConfig(), max_k=max_k)
+    return _run(
+        g, None, config or PivotScaleConfig(), max_k=max_k, controller=controller
+    )

@@ -8,6 +8,7 @@ from repro.counting.sct import CountResult
 from repro.ordering.base import Ordering
 from repro.ordering.heuristic import HeuristicDecision
 from repro.parallel.simulate import PhaseTime
+from repro.runtime.budget import BudgetSpent
 
 __all__ = ["PhaseBreakdown", "CliqueCountResult"]
 
@@ -53,10 +54,21 @@ class CliqueCountResult:
     wall_seconds:
         Real (single-core Python) wall-clock of the counting pass —
         reported honestly alongside the model.
+    approximate:
+        ``True`` when the graceful-degradation ladder replaced part of
+        the run with a sampling estimate — ``count``/``all_counts`` are
+        then unbiased floats, not exact ints.
+    degraded_from:
+        Comma-joined record of what was degraded away from (e.g.
+        ``"wordarray"`` after a kernel fallback, ``"exact"`` after
+        budget-exhaustion sampling, or both).
+    budget_spent:
+        The run controller's final meter (nodes, seconds, peak memory,
+        roots completed); ``None`` for unsupervised runs.
     """
 
-    count: int | None
-    all_counts: list[int] | None
+    count: int | float | None
+    all_counts: list[int] | list[float] | None
     k: int | None
     decision: HeuristicDecision | None
     ordering: Ordering
@@ -65,6 +77,9 @@ class CliqueCountResult:
     counting_phase: PhaseTime
     phases: PhaseBreakdown
     wall_seconds: float
+    approximate: bool = False
+    degraded_from: str | None = None
+    budget_spent: BudgetSpent | None = None
 
     @property
     def total_model_seconds(self) -> float:

@@ -10,30 +10,43 @@ explodes for ``k >= 8``-ish, while pivoting stays flat.
 Same local-bitset machinery as the SCT engine: per root, the DAG
 out-neighborhood is remapped to ``[0, d)``; within the subgraph the
 descent uses local-id order as its (second-level) directionalization.
+
+Budgets run through the shared :class:`~repro.runtime.RunController`
+protocol.  Because enumeration can explode *inside a single root*, the
+recursion keeps a plain-integer countdown cell (seeded from the
+controller's remaining node budget, or from ``max_nodes`` when no
+controller is supplied) so the hot loop never pays a method call per
+node; the controller is consulted only at root boundaries.
 """
 
 from __future__ import annotations
+
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.counting.counters import Counters
 from repro.counting.sct import CountResult
 from repro.counting.structures import STRUCTURES
-from repro.errors import CountingError
+from repro.errors import (
+    CountingError,
+    KernelFaultError,
+    MemoryBudgetExceededError,
+    NodeBudgetExceededError,
+)
 from repro.graph.csr import CSRGraph
 from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
+from repro.runtime.checkpoint import graph_fingerprint
+from repro.runtime.controller import RunController
 
 __all__ = ["count_kcliques_enumeration", "EnumerationBudgetExceeded"]
 
-
-class EnumerationBudgetExceeded(CountingError):
-    """Raised when enumeration work passes ``max_nodes``.
-
-    The paper reports ``> 2h`` for Arb-Count at large ``k``; harnesses
-    catch this to print the analogous "over budget" cell.
-    """
+# Historical name for the enumeration budget error, kept as an alias so
+# existing harnesses (`except EnumerationBudgetExceeded`) keep working
+# now that all budgets share one hierarchy in :mod:`repro.errors`.
+EnumerationBudgetExceeded = NodeBudgetExceededError
 
 
 def count_kcliques_enumeration(
@@ -43,14 +56,19 @@ def count_kcliques_enumeration(
     structure: str = "remap",
     max_nodes: int | None = None,
     kernel: str | BitsetKernel | None = None,
+    controller: RunController | None = None,
 ) -> CountResult:
     """Count k-cliques by DAG enumeration (the Arb-Count baseline).
 
     Returns the same :class:`~repro.counting.sct.CountResult` shape as
     the pivoting engine so harnesses can swap algorithms freely.
     ``max_nodes`` bounds recursion nodes; past it,
-    :class:`EnumerationBudgetExceeded` is raised — the combinatorial
-    explosion is the *expected* result at large ``k`` (Fig. 12).
+    :class:`~repro.errors.NodeBudgetExceededError` is raised — the
+    combinatorial explosion is the *expected* result at large ``k``
+    (Fig. 12).  A ``controller`` adds deadlines, memory watermarks,
+    fault injection and the kernel-fallback rung of the degradation
+    ladder; its node budget and ``max_nodes`` compose (the tighter one
+    wins).
     """
     if k < 1:
         raise CountingError(f"clique size k must be >= 1, got {k}")
@@ -69,18 +87,65 @@ def count_kcliques_enumeration(
     per_root_work = np.zeros(n, dtype=np.float64)
     per_root_memory = np.zeros(n, dtype=np.float64)
     total = 0
+    degraded_from: str | None = None
 
     if k == 1:
         total = n
     elif k == 2:
         total = graph.num_edges
-    budget = [max_nodes if max_nodes is not None else -1]
-    for v in range(n if k >= 3 else 0):
-        ctr = Counters()
-        total += _count_root(struct, v, k, ctr, budget)
-        per_root_work[v] = ctr.work
-        per_root_memory[v] = ctr.peak_subgraph_bytes
-        totals.merge(ctr)
+
+    ctl = controller
+    if ctl is not None:
+        ctl.begin(
+            {
+                "engine": "enumeration",
+                "k": k,
+                "structure": struct.name,
+                "kernel": struct.kernel.name,
+                "graph": graph_fingerprint(graph),
+            }
+        )
+
+    def seed_budget() -> list[int]:
+        # The in-recursion countdown: -1 means unlimited.  Composes the
+        # static max_nodes cap with the controller's remaining budget.
+        limits = [x for x in (max_nodes, ctl and ctl.remaining_nodes()) if x is not None]
+        return [min(limits) if limits else -1]
+
+    with ctl.guard() if ctl is not None else nullcontext():
+        for v in range(n if k >= 3 else 0):
+            ctr = Counters()
+            try:
+                if ctl is not None:
+                    ctl.tick()
+                delta = _count_root(struct, v, k, ctr, seed_budget())
+            except MemoryError:
+                raise MemoryBudgetExceededError(
+                    f"out of memory while enumerating root {v}",
+                    spent=ctl.spent_snapshot() if ctl is not None else None,
+                )
+            except KernelFaultError:
+                if ctl is None or not ctl.degrade or struct.kernel.name == "bigint":
+                    raise
+                if degraded_from is None:
+                    degraded_from = struct.kernel.name
+                struct = STRUCTURES[structure](graph, dag, kernel="bigint")
+                ctr = Counters()
+                delta = _count_root(struct, v, k, ctr, seed_budget())
+            except NodeBudgetExceededError as e:
+                if ctl is not None and e.spent is None:
+                    ctl.spent.nodes += ctr.function_calls
+                    e.spent = ctl.spent_snapshot()
+                raise
+            if ctl is not None:
+                ctl.charge_nodes(ctr.function_calls)
+                ctl.note_memory(ctr.peak_subgraph_bytes)
+            total += delta
+            per_root_work[v] = ctr.work
+            per_root_memory[v] = ctr.peak_subgraph_bytes
+            totals.merge(ctr)
+            if ctl is not None:
+                ctl.complete_root(v)
     return CountResult(
         count=total,
         all_counts=None,
@@ -90,6 +155,7 @@ def count_kcliques_enumeration(
         per_root_memory=per_root_memory,
         structure=struct.name,
         kernel=struct.kernel.name,
+        degraded_from=degraded_from,
     )
 
 
@@ -117,7 +183,7 @@ def _count_root(struct, v: int, k: int, ctr: Counters, budget: list[int]) -> int
         if budget[0] >= 0:
             budget[0] -= 1
             if budget[0] < 0:
-                raise EnumerationBudgetExceeded(
+                raise NodeBudgetExceededError(
                     "enumeration node budget exhausted"
                 )
         if depth > ctr.max_depth:

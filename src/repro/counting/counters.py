@@ -78,6 +78,24 @@ class Counters:
         """Scalar work units for scheduling: the instruction proxy."""
         return self.set_op_words + self.index_lookups + self.build_words
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "Counters":
+        """Exact inverse of :meth:`as_dict` (ignores derived keys) —
+        the checkpoint restore path.  Ints stay ints and floats
+        round-trip exactly through JSON, so a resumed run's counters
+        are bit-identical to an uninterrupted one."""
+        return cls(
+            function_calls=int(d.get("function_calls", 0)),
+            leaves=int(d.get("leaves", 0)),
+            set_op_words=float(d.get("set_op_words", 0.0)),
+            index_lookups=float(d.get("index_lookups", 0.0)),
+            subgraph_builds=int(d.get("subgraph_builds", 0)),
+            build_words=float(d.get("build_words", 0.0)),
+            early_terminations=int(d.get("early_terminations", 0)),
+            max_depth=int(d.get("max_depth", 0)),
+            peak_subgraph_bytes=int(d.get("peak_subgraph_bytes", 0)),
+        )
+
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view for report tables."""
         return {

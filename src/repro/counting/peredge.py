@@ -19,6 +19,7 @@ Invariant (tested): summing over all edges gives
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from itertools import combinations
 
 import numpy as np
@@ -30,6 +31,8 @@ from repro.graph.csr import CSRGraph
 from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
+from repro.runtime.checkpoint import graph_fingerprint
+from repro.runtime.controller import RunController
 
 __all__ = ["per_edge_counts"]
 
@@ -40,6 +43,7 @@ def per_edge_counts(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     kernel: str | BitsetKernel | None = None,
+    controller: RunController | None = None,
 ) -> dict[tuple[int, int], int]:
     """k-clique count per edge, keyed by ``(min(u,v), max(u,v))``.
 
@@ -64,13 +68,33 @@ def per_edge_counts(
         key = (u, v) if u < v else (v, u)
         per[key] = per.get(key, 0) + c
 
-    for v in range(graph.num_vertices):
-        _root(struct, v, k, credit)
+    if controller is not None:
+        controller.begin(
+            {
+                "engine": "per-edge",
+                "k": k,
+                "structure": struct.name,
+                "kernel": struct.kernel.name,
+                "graph": graph_fingerprint(graph),
+            }
+        )
+    with controller.guard() if controller is not None else nullcontext():
+        for v in range(graph.num_vertices):
+            if controller is not None:
+                controller.tick()
+            calls, peak = _root(struct, v, k, credit)
+            if controller is not None:
+                controller.charge_nodes(calls)
+                controller.note_memory(peak)
+                controller.complete_root(v)
     return per
 
 
-def _root(struct, v: int, k: int, credit) -> None:
+def _root(struct, v: int, k: int, credit) -> tuple[int, int]:
+    """Attribute one root; returns ``(recursion_calls, peak_bytes)``
+    so the caller can meter the run controller."""
     ctx = struct.build(v)
+    calls = 0
     d = ctx.d
     rows = ctx.rows
     pivot_select = ctx.kernel.pivot_select
@@ -98,6 +122,8 @@ def _root(struct, v: int, k: int, credit) -> None:
                 credit(a, b, c_pp)
 
     def rec(P: int, held: int, pivots: int) -> None:
+        nonlocal calls
+        calls += 1
         pc = P.bit_count()
         if pc == 0 or held == k:
             if held <= k <= held + pivots:
@@ -121,3 +147,4 @@ def _root(struct, v: int, k: int, credit) -> None:
             cand ^= low
 
     rec(full, 1, 0)
+    return calls, ctx.memory_bytes

@@ -12,6 +12,8 @@ Invariant (tested): per-vertex counts sum to ``k x (total k-cliques)``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.counting.binomial import binomial
@@ -22,6 +24,8 @@ from repro.graph.csr import CSRGraph
 from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
+from repro.runtime.checkpoint import graph_fingerprint
+from repro.runtime.controller import RunController
 
 __all__ = ["per_vertex_counts"]
 
@@ -32,8 +36,14 @@ def per_vertex_counts(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     kernel: str | BitsetKernel | None = None,
+    controller: RunController | None = None,
 ) -> list[int]:
-    """Number of k-cliques containing each vertex (exact ints)."""
+    """Number of k-cliques containing each vertex (exact ints).
+
+    A ``controller`` is consulted at root granularity for budgets and
+    fault injection (attribution has no checkpoint state — a budget
+    abort discards the run).
+    """
     if k < 1:
         raise CountingError(f"clique size k must be >= 1, got {k}")
     if graph.directed:
@@ -48,13 +58,33 @@ def per_vertex_counts(
     n = graph.num_vertices
     per: list[int] = [0] * n
     ctr = Counters()
-    for v in range(n):
-        _root(struct, v, k, per, ctr)
+    if controller is not None:
+        controller.begin(
+            {
+                "engine": "per-vertex",
+                "k": k,
+                "structure": struct.name,
+                "kernel": struct.kernel.name,
+                "graph": graph_fingerprint(graph),
+            }
+        )
+    with controller.guard() if controller is not None else nullcontext():
+        for v in range(n):
+            prev_calls = ctr.function_calls
+            if controller is not None:
+                controller.tick()
+            _root(struct, v, k, per, ctr)
+            if controller is not None:
+                controller.charge_nodes(ctr.function_calls - prev_calls)
+                controller.note_memory(ctr.peak_subgraph_bytes)
+                controller.complete_root(v)
     return per
 
 
 def _root(struct, v: int, k: int, per: list[int], ctr: Counters) -> None:
     ctx = struct.build(v)
+    ctr.subgraph_builds += 1
+    ctr.peak_subgraph_bytes = max(ctr.peak_subgraph_bytes, ctx.memory_bytes)
     d = ctx.d
     rows = ctx.rows
     pivot_select = ctx.kernel.pivot_select

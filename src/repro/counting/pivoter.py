@@ -24,6 +24,7 @@ from repro.counting.sct import CountResult, SCTEngine
 from repro.graph.csr import CSRGraph
 from repro.ordering.base import Ordering
 from repro.ordering.core import core_ordering
+from repro.runtime.controller import RunController
 
 __all__ = ["PIVOTER_SERIAL_FRACTION", "PivoterRun", "run_pivoter"]
 
@@ -46,13 +47,22 @@ class PivoterRun:
         return PIVOTER_SERIAL_FRACTION
 
 
-def run_pivoter(graph: CSRGraph, k: int, kernel: str | None = None) -> PivoterRun:
+def run_pivoter(
+    graph: CSRGraph,
+    k: int,
+    kernel: str | None = None,
+    controller: RunController | None = None,
+) -> PivoterRun:
     """Count k-cliques the way the original Pivoter release does.
 
     ``kernel`` selects the bitset backend (default big-int); the
     baseline's defining choices — sequential core ordering, dense
-    structure, naive parallelization — are fixed.
+    structure, naive parallelization — are fixed.  ``controller``
+    supervises the counting phase (budgets, checkpoint/resume, fault
+    injection) exactly as for the SCT engine.
     """
     ordering = core_ordering(graph)
     engine = SCTEngine(graph, ordering, structure="dense", kernel=kernel)
-    return PivoterRun(result=engine.count(k), ordering=ordering)
+    return PivoterRun(
+        result=engine.count(k, controller=controller), ordering=ordering
+    )

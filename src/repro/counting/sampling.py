@@ -26,13 +26,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.counting.sct import count_kcliques
+from repro.counting.sct import SCTEngine, count_kcliques
 from repro.errors import CountingError
 from repro.graph.build import from_edge_array, induced_subgraph
 from repro.graph.csr import CSRGraph
 from repro.ordering.core import core_ordering
+from repro.runtime.controller import RunController
 
-__all__ = ["ApproxCount", "sample_count_vertex", "sample_count_color"]
+__all__ = [
+    "ApproxCount",
+    "sample_count_vertex",
+    "sample_count_color",
+    "sample_count_roots",
+    "sample_all_sizes_roots",
+]
 
 
 @dataclass(frozen=True)
@@ -76,19 +83,29 @@ def sample_count_vertex(
     *,
     repeats: int = 5,
     seed: int = 0,
+    controller: RunController | None = None,
 ) -> ApproxCount:
     """Vertex-sampling estimator: count on a ``p``-fraction induced
-    subgraph, scale by ``p^{-k}``."""
+    subgraph, scale by ``p^{-k}``.
+
+    ``controller`` is checked at repeat granularity (one repeat = one
+    root-equivalent task) for budgets and fault injection.
+    """
     _check(k, repeats)
     if not 0.0 < p <= 1.0:
         raise CountingError("sampling probability p must lie in (0, 1]")
     rng = np.random.default_rng(seed)
     samples: list[float] = []
-    for _ in range(repeats):
+    for i in range(repeats):
+        if controller is not None:
+            controller.tick()
         keep = np.flatnonzero(rng.random(g.num_vertices) < p)
         sub = induced_subgraph(g, keep)
-        c = count_kcliques(sub, k, core_ordering(sub)).count or 0
-        samples.append(float(c) / p**k)
+        r = count_kcliques(sub, k, core_ordering(sub))
+        samples.append(float(r.count or 0) / p**k)
+        if controller is not None:
+            controller.charge_nodes(r.counters.function_calls)
+            controller.complete_root(i)
     return _summarize(samples, k, "vertex-sampling")
 
 
@@ -99,6 +116,7 @@ def sample_count_color(
     *,
     repeats: int = 5,
     seed: int = 0,
+    controller: RunController | None = None,
 ) -> ApproxCount:
     """Color-sparsification estimator: keep monochromatic edges only,
     scale by ``t^{k-1}``."""
@@ -108,10 +126,102 @@ def sample_count_color(
     rng = np.random.default_rng(seed)
     edges = g.edge_array()
     samples: list[float] = []
-    for _ in range(repeats):
+    for i in range(repeats):
+        if controller is not None:
+            controller.tick()
         colors = rng.integers(0, num_colors, size=g.num_vertices)
         mono = edges[colors[edges[:, 0]] == colors[edges[:, 1]]]
         sub = from_edge_array(mono, num_vertices=g.num_vertices)
-        c = count_kcliques(sub, k, core_ordering(sub)).count or 0
-        samples.append(float(c) * float(num_colors) ** (k - 1))
+        r = count_kcliques(sub, k, core_ordering(sub))
+        samples.append(float(r.count or 0) * float(num_colors) ** (k - 1))
+        if controller is not None:
+            controller.charge_nodes(r.counters.function_calls)
+            controller.complete_root(i)
     return _summarize(samples, k, "color-sparsification")
+
+
+def _root_sample_p(remaining: int, p: float | None) -> float:
+    """Default sample rate: ~256 roots per repeat, at least 5%."""
+    if p is not None:
+        if not 0.0 < p <= 1.0:
+            raise CountingError("sampling probability p must lie in (0, 1]")
+        return p
+    return min(1.0, max(0.05, 256.0 / remaining))
+
+
+def sample_count_roots(
+    engine: SCTEngine,
+    k: int,
+    start_root: int = 0,
+    *,
+    p: float | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> ApproxCount:
+    """Root-sampling estimator over roots ``[start_root, n)``.
+
+    The SCT total decomposes as ``Σ_v c_v`` over per-root counts, so
+    keeping each remaining root with probability ``p`` and counting it
+    *exactly* gives the unbiased Horvitz-Thompson estimate
+    ``Σ_sampled c_v / p``.  This is the estimator the graceful-
+    degradation ladder folds in for the roots an exhausted budget left
+    uncounted (see :mod:`repro.runtime.degrade`): unlike whole-graph
+    vertex sampling it composes exactly with partial exact progress.
+    """
+    _check(k, repeats)
+    n = engine.graph.num_vertices
+    remaining = n - start_root
+    if remaining <= 0:
+        return ApproxCount(0.0, 0.0, k, repeats, "root-sampling")
+    p = _root_sample_p(remaining, p)
+    rng = np.random.default_rng(seed)
+    samples: list[float] = []
+    for _ in range(repeats):
+        keep = start_root + np.flatnonzero(rng.random(remaining) < p)
+        c = sum(engine.count_root(int(v), k) for v in keep)
+        samples.append(float(c) / p)
+    return _summarize(samples, k, "root-sampling")
+
+
+def sample_all_sizes_roots(
+    engine: SCTEngine,
+    start_root: int = 0,
+    *,
+    max_k: int | None = None,
+    p: float | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> tuple[list[float], float]:
+    """All-k companion of :func:`sample_count_roots`.
+
+    Returns ``(estimates, total_std_error)`` where ``estimates[s]``
+    estimates the s-cliques contributed by roots ``[start_root, n)``
+    and ``total_std_error`` is the spread of the summed estimate
+    across repeats.
+    """
+    if repeats < 1:
+        raise CountingError("repeats must be >= 1")
+    n = engine.graph.num_vertices
+    length, _cap = engine._allk_shape(max_k)
+    remaining = n - start_root
+    if remaining <= 0:
+        return [0.0] * length, 0.0
+    p = _root_sample_p(remaining, p)
+    rng = np.random.default_rng(seed)
+    rows: list[list[float]] = []
+    for _ in range(repeats):
+        keep = start_root + np.flatnonzero(rng.random(remaining) < p)
+        row = [0.0] * length
+        for v in keep:
+            for s, c in enumerate(engine.count_root_all(int(v), max_k)):
+                row[s] += c
+        rows.append([c / p for c in row])
+    arr = np.asarray(rows, dtype=np.float64)
+    means = arr.mean(axis=0)
+    totals = arr.sum(axis=1)
+    se = (
+        float(totals.std(ddof=1) / np.sqrt(totals.size))
+        if totals.size > 1
+        else 0.0
+    )
+    return [float(c) for c in means], se

@@ -31,6 +31,7 @@ Implementation subtleties carried over from Sec. V-A:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,11 +39,18 @@ import numpy as np
 from repro.counting.binomial import binomial, binomial_row
 from repro.counting.counters import Counters
 from repro.counting.structures import STRUCTURES, SubgraphStructure
-from repro.errors import CountingError
+from repro.errors import (
+    CheckpointError,
+    CountingError,
+    KernelFaultError,
+    MemoryBudgetExceededError,
+)
 from repro.graph.csr import CSRGraph
 from repro.kernels import BitsetKernel
 from repro.ordering.base import Ordering
 from repro.ordering.directionalize import directionalize
+from repro.runtime.checkpoint import graph_fingerprint
+from repro.runtime.controller import RunController
 
 __all__ = ["SCTEngine", "CountResult", "count_kcliques", "count_all_sizes"]
 
@@ -72,17 +80,29 @@ class CountResult:
     structure:
         Name of the subgraph structure used.
     kernel:
-        Name of the bitset-kernel backend used.
+        Name of the bitset-kernel backend used (the backend the run
+        *finished* on — see ``degraded_from``).
+    approximate:
+        True when budget exhaustion degraded the run to sampling:
+        ``count`` / ``all_counts`` then mix exact per-root counts with
+        an unbiased estimate for the remaining roots and are floats.
+    degraded_from:
+        What the run degraded away from, or ``None`` for a clean run:
+        a kernel name (mid-run wordarray→bigint fallback) and/or
+        ``"exact"`` (budget exhaustion → sampling), comma-joined when
+        both happened.
     """
 
-    count: int | None
-    all_counts: list[int] | None
+    count: int | float | None
+    all_counts: list[int] | list[float] | None
     k: int | None
     counters: Counters
     per_root_work: np.ndarray
     per_root_memory: np.ndarray
     structure: str
     kernel: str = "bigint"
+    approximate: bool = False
+    degraded_from: str | None = None
 
     @property
     def max_clique_size(self) -> int:
@@ -143,57 +163,195 @@ class SCTEngine:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def count(self, k: int, *, early_termination: bool = True) -> CountResult:
+    def count(
+        self,
+        k: int,
+        *,
+        early_termination: bool = True,
+        controller: RunController | None = None,
+    ) -> CountResult:
         """Count k-cliques exactly.
 
         ``early_termination`` toggles the Sec. V-A reach prune
         (``|H| + |Π| + |P| < k``); disabling it reproduces the ablation
         in ``benchmarks/bench_ablation.py``.  Counts are identical
         either way — only the tree size changes.
+
+        ``controller`` attaches a :class:`~repro.runtime.RunController`
+        for budgets, checkpoint/resume, and fault handling, checked at
+        root-vertex granularity.
         """
         if k < 1:
             raise CountingError(f"clique size k must be >= 1, got {k}")
-        return self._run(k=k, early_termination=early_termination)
+        return self._run(
+            k=k, early_termination=early_termination, controller=controller
+        )
 
-    def count_all(self, max_k: int | None = None) -> CountResult:
+    def count_all(
+        self,
+        max_k: int | None = None,
+        *,
+        controller: RunController | None = None,
+    ) -> CountResult:
         """Count cliques of *every* size up to ``max_k`` (default: all).
 
         This is the "modest amount of additional work" variant the
         paper describes in Sec. V-A: the same tree, with a binomial
         row instead of a single coefficient per leaf.
         """
-        return self._run(k=None, max_k=max_k)
+        return self._run(k=None, max_k=max_k, controller=controller)
+
+    def count_root(self, v: int, k: int) -> int:
+        """Exact k-clique count of the cliques rooted at ``v`` — the
+        per-root task unit (used by the root-sampling degradation
+        estimator)."""
+        return self._count_root_k(v, k, Counters())
+
+    def count_root_all(self, v: int, max_k: int | None = None) -> list[int]:
+        """Per-size clique counts rooted at ``v`` (all-k task unit)."""
+        length, cap = self._allk_shape(max_k)
+        return self._count_root_all(v, cap, length, Counters())
 
     # ------------------------------------------------------------------
     # driver
     # ------------------------------------------------------------------
+    def _allk_shape(self, max_k: int | None) -> tuple[int, int]:
+        """(length of the counts row, exclusive size cap) for all-k.
+
+        Largest possible clique = max out-degree + 1 (root + subgraph).
+        """
+        size_cap = self.dag.max_degree + 2
+        if max_k is not None:
+            size_cap = min(size_cap, max_k + 1)
+        length = max(size_cap, 2)
+        cap = length if max_k is None else max_k + 1
+        return length, cap
+
+    def _descriptor(self, k: int | None, max_k: int | None) -> dict:
+        """Checkpoint identity: resuming against anything else fails."""
+        return {
+            "engine": "sct",
+            "k": k,
+            "max_k": max_k,
+            "structure": self.structure.name,
+            "kernel": self.kernel.name,
+            "graph_fingerprint": graph_fingerprint(self.graph),
+            "dag_fingerprint": graph_fingerprint(self.dag),
+        }
+
+    def _fallback_to_bigint(self) -> str:
+        """Kernel-fault rung of the degradation ladder: rebuild the
+        structure on the ``bigint`` reference backend.  Returns the
+        name of the backend abandoned.  Counters are backend-invariant,
+        so the re-verified root and every later root are bit-identical
+        to an unfaulted run."""
+        old = self.kernel.name
+        self.structure = type(self.structure)(
+            self.graph, self.dag, kernel="bigint"
+        )
+        self.kernel = self.structure.kernel
+        return old
+
     def _run(
         self,
         k: int | None,
         max_k: int | None = None,
         early_termination: bool = True,
+        controller: RunController | None = None,
     ) -> CountResult:
+        ctl = controller
         n = self.graph.num_vertices
         totals = Counters()
         per_root_work = np.zeros(n, dtype=np.float64)
         per_root_memory = np.zeros(n, dtype=np.float64)
-        # Largest possible clique = max out-degree + 1 (root + subgraph).
-        size_cap = self.dag.max_degree + 2
-        if max_k is not None:
-            size_cap = min(size_cap, max_k + 1)
         all_counts: list[int] | None = None
-        total = 0
+        length = cap = 0
         if k is None:
-            all_counts = [0] * max(size_cap, 2)
-        for v in range(n):
+            length, cap = self._allk_shape(max_k)
+            all_counts = [0] * length
+        total = 0
+        start = 0
+        done = 0
+        degraded_from: str | None = None
+
+        if ctl is not None:
+            # Zero-argument state provider: invoked only at actual save
+            # points, always at a root boundary (roots fold atomically,
+            # so the snapshot is consistent by construction).
+            def snapshot() -> dict:
+                return {
+                    "next_root": done,
+                    "total": total,
+                    "all_counts": (
+                        None if all_counts is None else list(all_counts)
+                    ),
+                    "counters": totals.as_dict(),
+                    "per_root_work": per_root_work[:done].tolist(),
+                    "per_root_memory": per_root_memory[:done].tolist(),
+                    "degraded_from": degraded_from,
+                }
+
+            state = ctl.begin(self._descriptor(k, max_k), snapshot)
+            if state is not None:
+                start = done = int(state["next_root"])
+                total = state["total"]
+                if all_counts is not None:
+                    stored = state.get("all_counts")
+                    if stored is None or len(stored) != length:
+                        raise CheckpointError(
+                            "checkpoint all_counts row does not match "
+                            "this run's clique-size cap"
+                        )
+                    all_counts = [int(c) for c in stored]
+                totals = Counters.from_dict(state["counters"])
+                per_root_work[:start] = state["per_root_work"]
+                per_root_memory[:start] = state["per_root_memory"]
+                degraded_from = state.get("degraded_from")
+
+        def run_root(v: int) -> tuple[Counters, int, list[int] | None]:
             ctr = Counters()
             if k is None:
-                self._count_root_all(v, all_counts, ctr, max_k)
-            else:
-                total += self._count_root_k(v, k, ctr, early_termination)
-            per_root_work[v] = ctr.work
-            per_root_memory[v] = ctr.peak_subgraph_bytes
-            totals.merge(ctr)
+                return ctr, 0, self._count_root_all(v, cap, length, ctr)
+            return ctr, self._count_root_k(v, k, ctr, early_termination), None
+
+        with ctl.guard() if ctl is not None else nullcontext():
+            for v in range(start, n):
+                if ctl is None:
+                    ctr, delta, local = run_root(v)
+                else:
+                    # Budget/fault checks all happen BEFORE the root is
+                    # folded into the totals: a root is all-in or
+                    # not-at-all, which keeps checkpoints consistent.
+                    try:
+                        ctl.tick()
+                        ctr, delta, local = run_root(v)
+                    except MemoryError as exc:
+                        raise MemoryBudgetExceededError(
+                            f"allocation failure at root {v}",
+                            spent=ctl.spent_snapshot(),
+                        ) from exc
+                    except KernelFaultError:
+                        if not ctl.degrade or self.kernel.name == "bigint":
+                            raise
+                        fallen = self._fallback_to_bigint()
+                        if degraded_from is None:
+                            degraded_from = fallen
+                        ctr, delta, local = run_root(v)
+                    ctl.charge_nodes(ctr.function_calls)
+                    ctl.note_memory(ctr.peak_subgraph_bytes)
+                if local is not None:
+                    for s in range(length):
+                        if local[s]:
+                            all_counts[s] += local[s]
+                else:
+                    total += delta
+                per_root_work[v] = ctr.work
+                per_root_memory[v] = ctr.peak_subgraph_bytes
+                totals.merge(ctr)
+                done = v + 1
+                if ctl is not None:
+                    ctl.complete_root(v)
+
         if all_counts is not None:
             while len(all_counts) > 1 and all_counts[-1] == 0:
                 all_counts.pop()
@@ -206,6 +364,7 @@ class SCTEngine:
             per_root_memory=per_root_memory,
             structure=self.structure.name,
             kernel=self.kernel.name,
+            degraded_from=degraded_from,
         )
 
     # ------------------------------------------------------------------
@@ -282,8 +441,15 @@ class SCTEngine:
         return result
 
     def _count_root_all(
-        self, v: int, counts: list[int], ctr: Counters, max_k: int | None
-    ) -> None:
+        self, v: int, cap: int, length: int, ctr: Counters
+    ) -> list[int]:
+        """Per-size counts for one root, as a fresh ``length``-long row.
+
+        Writing into a local row (folded by the caller *after* budget
+        checks pass) keeps the shared distribution consistent if the
+        controller aborts the run on this root.
+        """
+        counts = [0] * length
         ctx = self.structure.build(v)
         ctr.subgraph_builds += 1
         ctr.build_words += ctx.build_words
@@ -295,7 +461,6 @@ class SCTEngine:
         intersect_count = kern.intersect_count
         lw = ctx.lookup_weight
         full = (1 << d) - 1
-        cap = len(counts) if max_k is None else max_k + 1
         acc = [0, 0, 0, 0, 0, 0, 0]
 
         def rec(P: int, pc: int, held: int, pivots: int) -> None:
@@ -336,6 +501,7 @@ class SCTEngine:
         ctr.index_lookups += (acc[3] + acc[4]) * lw
         ctr.set_op_words += acc[6] + acc[3] + acc[4]
         ctr.max_depth = max(ctr.max_depth, acc[5])
+        return counts
 
 
 # ----------------------------------------------------------------------
@@ -347,9 +513,12 @@ def count_kcliques(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     kernel: str | BitsetKernel | None = None,
+    controller: "RunController | None" = None,
 ) -> CountResult:
     """Count k-cliques of ``graph`` under ``ordering`` — one-shot API."""
-    return SCTEngine(graph, ordering, structure, kernel=kernel).count(k)
+    return SCTEngine(graph, ordering, structure, kernel=kernel).count(
+        k, controller=controller
+    )
 
 
 def count_all_sizes(
@@ -358,8 +527,9 @@ def count_all_sizes(
     structure: str = "remap",
     max_k: int | None = None,
     kernel: str | BitsetKernel | None = None,
+    controller: "RunController | None" = None,
 ) -> CountResult:
     """Count cliques of every size (Fig. 1's distribution) — one-shot."""
     return SCTEngine(graph, ordering, structure, kernel=kernel).count_all(
-        max_k=max_k
+        max_k=max_k, controller=controller
     )

@@ -3,6 +3,14 @@
 All errors raised intentionally by this library derive from
 :class:`ReproError` so downstream code can catch library failures with a
 single ``except`` clause while letting programming errors propagate.
+
+The budget/robustness family (:class:`BudgetExceededError` and its
+subclasses, :class:`CheckpointError`, :class:`KernelFaultError`,
+:class:`RunInterrupted`) backs the :mod:`repro.runtime` run controller:
+engines raise them at root-vertex granularity, harnesses catch
+:class:`BudgetExceededError` to render the paper's "> 2h" cells, and
+the degradation ladder converts them into explicitly-approximate
+results (announced via :class:`DegradedResultWarning`).
 """
 
 from __future__ import annotations
@@ -14,6 +22,14 @@ __all__ = [
     "CountingError",
     "ParallelModelError",
     "DatasetError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "NodeBudgetExceededError",
+    "MemoryBudgetExceededError",
+    "CheckpointError",
+    "KernelFaultError",
+    "RunInterrupted",
+    "DegradedResultWarning",
 ]
 
 
@@ -39,3 +55,61 @@ class ParallelModelError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset analog is unknown or cannot be built."""
+
+
+class BudgetExceededError(ReproError):
+    """A run blew one of its :class:`~repro.runtime.Budget` limits.
+
+    ``spent`` carries the :class:`~repro.runtime.BudgetSpent` snapshot
+    at the moment of exhaustion (``None`` when the raising site had no
+    controller), so harnesses can report *how far* a run got — the
+    paper's "> 2h" cells become ``>budget(... nodes)`` cells.
+    """
+
+    def __init__(self, message: str, spent=None) -> None:
+        super().__init__(message)
+        self.spent = spent
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """The wall-clock deadline passed (checked at root granularity)."""
+
+
+class NodeBudgetExceededError(BudgetExceededError):
+    """The recursion-node budget is exhausted.
+
+    Replaces the ad-hoc mutable-list budget the enumeration baseline
+    used to carry (``repro.counting.arbcount``).
+    """
+
+
+class MemoryBudgetExceededError(BudgetExceededError):
+    """The memory watermark was crossed, or an allocation failed
+    (``MemoryError`` raised while processing a root)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is corrupt, incompatible with the run being
+    resumed, or cannot be written."""
+
+
+class KernelFaultError(ReproError):
+    """A bitset-kernel backend failed mid-run.
+
+    With degradation enabled the engine falls back to the ``bigint``
+    reference backend and re-verifies the active root; without it the
+    fault propagates.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A run was interrupted between roots (injected or cooperative).
+
+    When checkpointing is enabled the controller saves its state before
+    this propagates, so the run can be resumed deterministically.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """Emitted when a run returns a degraded (approximate or
+    backend-downgraded) result instead of failing outright."""

@@ -27,6 +27,11 @@ __all__ = [
     "load_npz",
 ]
 
+#: Largest vertex id an int64 CSR can hold; larger tokens in an input
+#: file are a format error (reported with the line number), not an
+#: uncaught ``OverflowError`` deep inside NumPy.
+_MAX_ID = int(np.iinfo(np.int64).max)
+
 
 def read_edge_list(
     source: str | os.PathLike[str] | TextIO,
@@ -38,6 +43,10 @@ def read_edge_list(
     Each remaining line must contain at least two integer fields; extra
     fields (weights, timestamps) are ignored, matching how the paper's
     unweighted evaluation treats Konect files.
+
+    Malformed input — non-integer tokens (including ``nan``/``inf``
+    and floats), negative ids, or ids past the int64 range — raises
+    :class:`~repro.errors.GraphFormatError` naming the offending line.
     """
     if hasattr(source, "read"):
         text = source.read()  # type: ignore[union-attr]
@@ -60,6 +69,14 @@ def read_edge_list(
             raise GraphFormatError(
                 f"line {lineno}: non-integer vertex id in {line!r}"
             ) from exc
+        if u < 0 or v < 0:
+            raise GraphFormatError(
+                f"line {lineno}: negative vertex id in {line!r}"
+            )
+        if u > _MAX_ID or v > _MAX_ID:
+            raise GraphFormatError(
+                f"line {lineno}: vertex id exceeds int64 range in {line!r}"
+            )
         pairs.append((u, v))
     arr = np.array(pairs, dtype=np.int64).reshape(-1, 2)
     return from_edge_array(arr, num_vertices)

@@ -1,0 +1,101 @@
+"""Work budgets for counting runs.
+
+The paper's evaluation is budget-bounded: the enumeration baseline is
+cut off at 2 hours wall clock (Table V's "> 2h" cells), and real
+deployments — the Arb-Count paper's peeling service, Shi et al.'s
+parallel counting — abandon or downgrade runs that blow their work
+budget.  :class:`Budget` expresses the three limits every engine
+understands, and :class:`BudgetSpent` is the running meter the
+:class:`~repro.runtime.controller.RunController` maintains and attaches
+to :class:`~repro.errors.BudgetExceededError` / result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CountingError
+
+__all__ = ["Budget", "BudgetSpent"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one counting run; ``None`` means unlimited.
+
+    Attributes
+    ----------
+    deadline_seconds:
+        Wall-clock limit, measured on the controller's (injectable)
+        monotonic clock from ``begin()``.  Resumed runs count the time
+        already spent before the interruption.
+    max_nodes:
+        Recursion-node limit (the paper's work proxy: SCT/enumeration
+        tree nodes, i.e. ``Counters.function_calls``).
+    max_memory_bytes:
+        Watermark on the modeled per-root subgraph footprint
+        (``Counters.peak_subgraph_bytes``).
+    """
+
+    deadline_seconds: float | None = None
+    max_nodes: int | None = None
+    max_memory_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise CountingError("deadline_seconds must be > 0")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise CountingError("max_nodes must be >= 1")
+        if self.max_memory_bytes is not None and self.max_memory_bytes < 1:
+            raise CountingError("max_memory_bytes must be >= 1")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no limit is set (the controller still checkpoints
+        and injects faults, it just never aborts on its own)."""
+        return (
+            self.deadline_seconds is None
+            and self.max_nodes is None
+            and self.max_memory_bytes is None
+        )
+
+
+@dataclass
+class BudgetSpent:
+    """What a run has consumed so far.
+
+    Surfaced on results (``CliqueCountResult.budget_spent``), carried
+    by :class:`~repro.errors.BudgetExceededError`, and serialized into
+    checkpoints so a resumed run keeps charging against the same
+    budget.
+    """
+
+    nodes: int = 0
+    seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    roots_done: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "nodes": self.nodes,
+            "seconds": self.seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "roots_done": self.roots_done,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BudgetSpent":
+        return cls(
+            nodes=int(d.get("nodes", 0)),
+            seconds=float(d.get("seconds", 0.0)),
+            peak_memory_bytes=int(d.get("peak_memory_bytes", 0)),
+            roots_done=int(d.get("roots_done", 0)),
+        )
+
+    def copy(self) -> "BudgetSpent":
+        return BudgetSpent(
+            nodes=self.nodes,
+            seconds=self.seconds,
+            peak_memory_bytes=self.peak_memory_bytes,
+            roots_done=self.roots_done,
+        )

@@ -1,0 +1,130 @@
+"""JSON checkpoint format for interruptible counting runs.
+
+A checkpoint freezes an all-k (or target-k) run at a root-vertex
+boundary: the roots already counted, their exact partial totals, the
+work counters, and enough identity (graph / ordering / engine
+fingerprints) to refuse resuming against the wrong inputs.  Roots are
+atomic units — a run is always checkpointed *between* roots — so a
+resumed run replays the remaining roots in the same order with the
+same per-root arithmetic and lands on bit-identical counts and
+counters (guarded by ``tests/test_checkpoint.py``).
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "complete": false,
+      "descriptor": {
+        "engine": "sct", "k": 8, "max_k": null,
+        "structure": "remap", "kernel": "bigint",
+        "graph": {"n": 1234, "m": 5678, "fingerprint": "..."},
+        "ordering_fingerprint": "..."
+      },
+      "spent": {"nodes": ..., "seconds": ..., ...},
+      "state": { ... engine-owned: next_root, totals, counters ... }
+    }
+
+Counts are stored as native JSON integers (Python's ``json`` handles
+arbitrary precision exactly) and work counters as floats (``repr``
+round-trip is exact), so nothing is lost across save/load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.runtime.budget import BudgetSpent
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "graph_fingerprint",
+    "array_fingerprint",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def graph_fingerprint(g) -> str:
+    """Stable identity of a CSR graph (structure, not object)."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(g.indptr).tobytes())
+    h.update(np.ascontiguousarray(g.indices).tobytes())
+    h.update(b"directed" if g.directed else b"undirected")
+    return h.hexdigest()[:16]
+
+
+def array_fingerprint(arr) -> str:
+    """Stable identity of an ordering's rank array (or any array)."""
+    return hashlib.sha256(
+        np.ascontiguousarray(np.asarray(arr)).tobytes()
+    ).hexdigest()[:16]
+
+
+def save_checkpoint(
+    path: str | os.PathLike[str],
+    descriptor: dict,
+    spent: BudgetSpent,
+    state: dict,
+    *,
+    complete: bool = False,
+) -> None:
+    """Atomically write a checkpoint (write temp + rename)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "complete": bool(complete),
+        "descriptor": descriptor,
+        "spent": spent.as_dict(),
+        "state": state,
+    }
+    tmp = f"{os.fspath(path)}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
+
+
+def load_checkpoint(
+    path: str | os.PathLike[str], descriptor: dict | None = None
+) -> dict:
+    """Load a checkpoint, validating version and (optionally) identity.
+
+    ``descriptor`` is the resuming run's descriptor; any mismatch with
+    the stored one (different graph, ordering, engine, k, structure or
+    kernel) raises :class:`~repro.errors.CheckpointError` — resuming a
+    checkpoint against different inputs would silently corrupt counts.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    except ValueError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise CheckpointError(f"corrupt checkpoint {path}: missing fields")
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {version!r}, "
+            f"expected {CHECKPOINT_VERSION}"
+        )
+    if descriptor is not None:
+        stored = payload.get("descriptor") or {}
+        for key, want in descriptor.items():
+            got = stored.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"checkpoint {path} was written for {key}={got!r}, "
+                    f"this run has {key}={want!r}"
+                )
+    payload["spent"] = BudgetSpent.from_dict(payload.get("spent", {}))
+    return payload

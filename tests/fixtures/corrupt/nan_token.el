@@ -1,0 +1,2 @@
+0 1
+nan 2

@@ -1,0 +1,4 @@
+# ok line then a negative id
+0 1
+1 2
+2 -7

@@ -1,0 +1,218 @@
+"""Checkpoint/resume: a resumed all-k run is bit-identical to an
+uninterrupted one, across both kernel backends and multi-interrupt
+chains."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.counting.sct import SCTEngine
+from repro.errors import CheckpointError, RunInterrupted
+from repro.graph.generators import erdos_renyi
+from repro.ordering import core_ordering
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    RunController,
+    graph_fingerprint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.budget import BudgetSpent
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(50, 0.25, seed=23)
+
+
+def _engine(g, kernel):
+    return SCTEngine(g, core_ordering(g), kernel=kernel)
+
+
+def _assert_identical(a, b):
+    """Bit-identical CountResults: counts, counters, per-root arrays."""
+    assert a.count == b.count
+    assert a.all_counts == b.all_counts
+    assert a.counters.as_dict() == b.counters.as_dict()
+    assert np.array_equal(a.per_root_work, b.per_root_work)
+    assert np.array_equal(a.per_root_memory, b.per_root_memory)
+
+
+# ------------------------------------------------------- file round-trip
+def test_checkpoint_roundtrip(tmp_path):
+    path = tmp_path / "ck.json"
+    desc = {"engine": "sct", "k": 5}
+    spent = BudgetSpent(nodes=10, seconds=1.0, peak_memory_bytes=3, roots_done=2)
+    save_checkpoint(path, desc, spent, {"next_root": 2, "total": 7})
+    payload = load_checkpoint(path, desc)
+    assert payload["state"]["total"] == 7
+    assert payload["spent"] == spent
+    assert not payload["complete"]
+
+
+def test_checkpoint_descriptor_mismatch(tmp_path):
+    path = tmp_path / "ck.json"
+    save_checkpoint(path, {"engine": "sct", "k": 5}, BudgetSpent(), {})
+    with pytest.raises(CheckpointError, match="k"):
+        load_checkpoint(path, {"engine": "sct", "k": 6})
+
+
+def test_checkpoint_bad_version(tmp_path):
+    path = tmp_path / "ck.json"
+    save_checkpoint(path, {}, BudgetSpent(), {})
+    payload = json.loads(path.read_text())
+    payload["version"] = 999
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(path)
+
+
+def test_checkpoint_atomic_no_tmp_left(tmp_path):
+    path = tmp_path / "ck.json"
+    save_checkpoint(path, {}, BudgetSpent(), {"x": 1})
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "ck.json"]
+    assert leftovers == []
+
+
+def test_graph_fingerprint_distinguishes(g):
+    other = erdos_renyi(50, 0.25, seed=24)
+    assert graph_fingerprint(g) != graph_fingerprint(other)
+    assert graph_fingerprint(g) == graph_fingerprint(g)
+
+
+def test_resume_against_wrong_graph_fails(tmp_path, g):
+    path = tmp_path / "ck.json"
+    ctl = RunController(
+        checkpoint_path=path,
+        faults=FaultPlan(FaultSpec("interrupt", at_op=10)),
+    )
+    with pytest.raises(RunInterrupted):
+        _engine(g, "bigint").count_all(controller=ctl)
+    other = erdos_renyi(50, 0.25, seed=24)
+    with pytest.raises(CheckpointError):
+        _engine(other, "bigint").count_all(
+            controller=RunController(checkpoint_path=path, resume=True)
+        )
+
+
+# ------------------------------------------------ interrupt -> resume
+@pytest.mark.parametrize("kernel", ["bigint", "wordarray"])
+@pytest.mark.parametrize("at_op", [1, 7, 25, 49])
+def test_allk_resume_bit_identical(tmp_path, g, kernel, at_op):
+    """Interrupt an all-k run at several points; the resumed run's
+    counts, counters AND per-root work arrays match an uninterrupted
+    run exactly."""
+    base = _engine(g, kernel).count_all()
+    path = tmp_path / "ck.json"
+    ctl = RunController(
+        checkpoint_path=path,
+        faults=FaultPlan(FaultSpec("interrupt", at_op=at_op)),
+    )
+    with pytest.raises(RunInterrupted):
+        _engine(g, kernel).count_all(controller=ctl)
+    assert ctl.spent.roots_done == at_op - 1
+
+    resumed_ctl = RunController(checkpoint_path=path, resume=True)
+    r = _engine(g, kernel).count_all(controller=resumed_ctl)
+    _assert_identical(r, base)
+    # The final checkpoint is marked complete.
+    assert load_checkpoint(path)["complete"]
+    # Work accounting spans both attempts without double counting.
+    total_roots = ctl.spent.roots_done + (
+        resumed_ctl.spent.roots_done - ctl.spent.roots_done
+    )
+    assert resumed_ctl.spent.roots_done == g.num_vertices
+    assert total_roots == g.num_vertices
+    assert resumed_ctl.spent.nodes == base.counters.function_calls
+
+
+@pytest.mark.parametrize("kernel", ["bigint", "wordarray"])
+def test_fixed_k_resume_bit_identical(tmp_path, g, kernel):
+    base = _engine(g, kernel).count(5)
+    path = tmp_path / "ck.json"
+    ctl = RunController(
+        checkpoint_path=path,
+        faults=FaultPlan(FaultSpec("interrupt", at_op=20)),
+    )
+    with pytest.raises(RunInterrupted):
+        _engine(g, kernel).count(5, controller=ctl)
+    r = _engine(g, kernel).count(
+        5, controller=RunController(checkpoint_path=path, resume=True)
+    )
+    _assert_identical(r, base)
+
+
+def test_multi_interrupt_chain(tmp_path, g):
+    """Kill the run three times at different points; each resume picks
+    up the chain and the final result is still bit-identical."""
+    base = _engine(g, "bigint").count_all()
+    path = tmp_path / "ck.json"
+    ops = [5, 9, 3]  # ops are counted per attempt, from each resume point
+    resume = False
+    r = None
+    for at_op in ops + [None]:
+        faults = (
+            FaultPlan(FaultSpec("interrupt", at_op=at_op))
+            if at_op is not None
+            else None
+        )
+        ctl = RunController(
+            checkpoint_path=path, resume=resume, faults=faults
+        )
+        if at_op is not None:
+            with pytest.raises(RunInterrupted):
+                _engine(g, "bigint").count_all(controller=ctl)
+        else:
+            r = _engine(g, "bigint").count_all(controller=ctl)
+        resume = True
+    _assert_identical(r, base)
+
+
+def test_resume_across_kernel_backends(tmp_path, g):
+    """Counters are backend-invariant, so a run interrupted on
+    wordarray may legitimately resume on bigint bit-identically —
+    the checkpoint descriptor pins the kernel, so this goes through a
+    descriptor override, not silently."""
+    base = _engine(g, "bigint").count_all()
+    path = tmp_path / "ck.json"
+    ctl = RunController(
+        checkpoint_path=path,
+        faults=FaultPlan(FaultSpec("interrupt", at_op=20)),
+    )
+    with pytest.raises(RunInterrupted):
+        _engine(g, "wordarray").count_all(controller=ctl)
+    # Same backend resumes fine; a different backend is refused.
+    with pytest.raises(CheckpointError, match="kernel"):
+        _engine(g, "bigint").count_all(
+            controller=RunController(checkpoint_path=path, resume=True)
+        )
+    r = _engine(g, "wordarray").count_all(
+        controller=RunController(checkpoint_path=path, resume=True)
+    )
+    _assert_identical(r, base)
+
+
+def test_periodic_autosave(tmp_path, g):
+    """Without faults, the checkpoint is refreshed every
+    checkpoint_every roots and finalized on success."""
+    path = tmp_path / "ck.json"
+    ctl = RunController(checkpoint_path=path, checkpoint_every=8)
+    _engine(g, "bigint").count_all(controller=ctl)
+    payload = load_checkpoint(path)
+    assert payload["complete"]
+    assert payload["state"]["next_root"] == g.num_vertices
+
+
+def test_resume_from_complete_checkpoint_is_noop(tmp_path, g):
+    """Resuming a finished run does no further root work."""
+    path = tmp_path / "ck.json"
+    _engine(g, "bigint").count_all(
+        controller=RunController(checkpoint_path=path)
+    )
+    base = _engine(g, "bigint").count_all()
+    ctl = RunController(checkpoint_path=path, resume=True)
+    r = _engine(g, "bigint").count_all(controller=ctl)
+    _assert_identical(r, base)
+    assert ctl.spent.nodes == base.counters.function_calls

@@ -1,6 +1,7 @@
 """Edge-list and npz serialization round trips."""
 
 import io
+from pathlib import Path
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro.errors import GraphFormatError
 from repro.graph.generators import erdos_renyi, complete_graph
 from repro.graph.io import load_npz, read_edge_list, save_npz, write_edge_list
 from repro.ordering import core_ordering, directionalize
+
+CORRUPT = Path(__file__).parent / "fixtures" / "corrupt"
 
 
 def test_edge_list_roundtrip(tmp_path):
@@ -47,6 +50,38 @@ def test_read_edge_list_non_integer():
 def test_read_edge_list_num_vertices():
     g = read_edge_list(io.StringIO("0 1\n"), num_vertices=5)
     assert g.num_vertices == 5
+
+
+def test_read_edge_list_negative_id():
+    with pytest.raises(GraphFormatError, match="line 2: negative"):
+        read_edge_list(io.StringIO("0 1\n1 -2\n"))
+
+
+def test_read_edge_list_overflow_id():
+    with pytest.raises(GraphFormatError, match="line 1: .*int64"):
+        read_edge_list(io.StringIO(f"0 {2**80}\n"))
+
+
+def test_read_edge_list_nan_token():
+    with pytest.raises(GraphFormatError, match="line 1: non-integer"):
+        read_edge_list(io.StringIO("nan 1\n"))
+
+
+@pytest.mark.parametrize(
+    "fixture, match",
+    [
+        ("negative_id.el", "line 4: negative"),
+        ("nan_token.el", "line 2: non-integer"),
+        ("float_token.el", "line 2: non-integer"),
+        ("overflow_id.el", "line 2: .*int64"),
+        ("missing_field.el", "line 2: expected"),
+    ],
+)
+def test_read_edge_list_corrupt_fixtures(fixture, match):
+    """Every corrupt fixture fails with GraphFormatError naming the
+    offending line — never an uncaught ValueError/OverflowError."""
+    with pytest.raises(GraphFormatError, match=match):
+        read_edge_list(CORRUPT / fixture)
 
 
 def test_npz_roundtrip(tmp_path):

@@ -1,0 +1,192 @@
+"""Budgets and the run controller: limits, meters, error hierarchy."""
+
+import pytest
+
+from repro.core import PivotScaleConfig, count_cliques
+from repro.counting.arbcount import (
+    EnumerationBudgetExceeded,
+    count_kcliques_enumeration,
+)
+from repro.counting.pervertex import per_vertex_counts
+from repro.counting.peredge import per_edge_counts
+from repro.counting.sct import SCTEngine
+from repro.errors import (
+    BudgetExceededError,
+    CountingError,
+    DeadlineExceededError,
+    MemoryBudgetExceededError,
+    NodeBudgetExceededError,
+    ReproError,
+)
+from repro.graph.generators import erdos_renyi
+from repro.ordering import core_ordering, degree_ordering
+from repro.runtime import Budget, BudgetSpent, ManualClock, RunController
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(50, 0.25, seed=7)
+
+
+# ---------------------------------------------------------------- Budget
+def test_budget_defaults_unlimited():
+    b = Budget()
+    assert b.unlimited
+    assert not Budget(max_nodes=10).unlimited
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"deadline_seconds": 0.0},
+        {"deadline_seconds": -1.0},
+        {"max_nodes": 0},
+        {"max_memory_bytes": -5},
+    ],
+)
+def test_budget_rejects_nonpositive_limits(kwargs):
+    with pytest.raises(CountingError):
+        Budget(**kwargs)
+
+
+def test_budget_spent_roundtrip():
+    s = BudgetSpent(nodes=7, seconds=1.5, peak_memory_bytes=64, roots_done=3)
+    assert BudgetSpent.from_dict(s.as_dict()) == s
+    c = s.copy()
+    c.nodes += 1
+    assert s.nodes == 7
+
+
+# ----------------------------------------------------- error hierarchy
+def test_budget_error_hierarchy():
+    for cls in (
+        DeadlineExceededError,
+        NodeBudgetExceededError,
+        MemoryBudgetExceededError,
+    ):
+        assert issubclass(cls, BudgetExceededError)
+    assert issubclass(BudgetExceededError, ReproError)
+    # Back-compat alias: arbcount's old budget error is the new one.
+    assert EnumerationBudgetExceeded is NodeBudgetExceededError
+
+
+# ------------------------------------------------------------ controller
+def test_node_budget_enforced(g):
+    ctl = RunController(Budget(max_nodes=50))
+    eng = SCTEngine(g, core_ordering(g))
+    with pytest.raises(NodeBudgetExceededError) as ei:
+        eng.count(4, controller=ctl)
+    assert ei.value.spent is not None
+    assert ei.value.spent.nodes > 50
+    # Progress was metered up to the abort.
+    assert ctl.spent.roots_done > 0
+
+
+def test_deadline_enforced_without_sleeping():
+    clock = ManualClock()
+    ctl = RunController(Budget(deadline_seconds=10.0), clock=clock)
+    ctl.begin({"engine": "test"})
+    clock.advance(9.0)
+    ctl.check_deadline()  # still inside the budget
+    clock.advance(2.0)
+    with pytest.raises(DeadlineExceededError) as ei:
+        ctl.check_deadline()
+    assert ei.value.spent.seconds == pytest.approx(11.0)
+
+
+def test_memory_watermark_enforced(g):
+    ctl = RunController(Budget(max_memory_bytes=1))
+    eng = SCTEngine(g, core_ordering(g))
+    with pytest.raises(MemoryBudgetExceededError) as ei:
+        eng.count(4, controller=ctl)
+    assert ei.value.spent.peak_memory_bytes > 1
+
+
+def test_remaining_nodes_countdown():
+    ctl = RunController(Budget(max_nodes=100))
+    assert ctl.remaining_nodes() == 100
+    ctl.charge_nodes(40)
+    assert ctl.remaining_nodes() == 60
+    assert RunController().remaining_nodes() is None
+
+
+def test_resume_requires_checkpoint_path():
+    with pytest.raises(CountingError):
+        RunController(resume=True)
+
+
+def test_spent_snapshot_includes_elapsed():
+    clock = ManualClock()
+    ctl = RunController(clock=clock)
+    ctl.begin({"engine": "test"})
+    clock.advance(2.5)
+    assert ctl.spent_snapshot().seconds == pytest.approx(2.5)
+
+
+# ------------------------------------------------- engines under budget
+def test_enumeration_max_nodes_still_works(g):
+    """The legacy max_nodes knob raises the unified error type."""
+    with pytest.raises(NodeBudgetExceededError):
+        count_kcliques_enumeration(g, 4, degree_ordering(g), max_nodes=5)
+
+
+def test_enumeration_controller_and_max_nodes_compose(g):
+    # Controller budget tighter than max_nodes: controller wins.
+    ctl = RunController(Budget(max_nodes=10))
+    with pytest.raises(NodeBudgetExceededError) as ei:
+        count_kcliques_enumeration(
+            g, 4, degree_ordering(g), max_nodes=10_000, controller=ctl
+        )
+    assert ei.value.spent is not None
+
+
+def test_per_vertex_budget(g):
+    ctl = RunController(Budget(max_nodes=20))
+    with pytest.raises(NodeBudgetExceededError):
+        per_vertex_counts(g, 3, core_ordering(g), controller=ctl)
+
+
+def test_per_edge_budget(g):
+    ctl = RunController(Budget(max_nodes=20))
+    with pytest.raises(NodeBudgetExceededError):
+        per_edge_counts(g, 3, core_ordering(g), controller=ctl)
+
+
+def test_unbudgeted_run_unchanged(g):
+    """Supervised (unlimited) and unsupervised runs agree exactly."""
+    eng = SCTEngine(g, core_ordering(g))
+    base = eng.count(4)
+    ctl = RunController()
+    again = SCTEngine(g, core_ordering(g)).count(4, controller=ctl)
+    assert again.count == base.count
+    assert again.counters.as_dict() == base.counters.as_dict()
+    assert ctl.spent.roots_done == g.num_vertices
+
+
+# ------------------------------------------------------- config plumbing
+def test_config_builds_no_controller_by_default():
+    cfg = PivotScaleConfig()
+    assert not cfg.wants_controller
+    assert cfg.make_controller() is None
+
+
+def test_config_budget_validation():
+    with pytest.raises(CountingError):
+        PivotScaleConfig(max_nodes=-1)
+    with pytest.raises(CountingError):
+        PivotScaleConfig(resume=True)
+
+
+def test_pipeline_respects_config_budget(g):
+    cfg = PivotScaleConfig(max_nodes=30)
+    with pytest.raises(NodeBudgetExceededError):
+        count_cliques(g, 4, cfg)
+
+
+def test_pipeline_reports_budget_spent(g):
+    cfg = PivotScaleConfig(max_nodes=10**9)
+    r = count_cliques(g, 4, cfg)
+    assert not r.approximate
+    assert r.budget_spent is not None
+    assert r.budget_spent.roots_done == g.num_vertices
+    assert r.budget_spent.nodes == r.counting.counters.function_calls

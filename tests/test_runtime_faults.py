@@ -1,0 +1,232 @@
+"""Deterministic fault injection and every rung of the degradation
+ladder: kernel fallback, memory faults, clock jumps, interrupts, and
+budget-exhaustion root sampling."""
+
+import warnings
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import PivotScaleConfig, count_cliques
+from repro.core.hybrid import count_cliques_hybrid
+from repro.counting.sct import SCTEngine
+from repro.errors import (
+    CountingError,
+    DeadlineExceededError,
+    DegradedResultWarning,
+    KernelFaultError,
+    MemoryBudgetExceededError,
+    RunInterrupted,
+)
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import write_edge_list
+from repro.kernels import KERNELS
+from repro.ordering import core_ordering
+from repro.runtime import (
+    Budget,
+    FaultPlan,
+    FaultSpec,
+    FaultyKernel,
+    ManualClock,
+    RunController,
+)
+
+
+@pytest.fixture
+def g():
+    return erdos_renyi(40, 0.3, seed=11)
+
+
+# ----------------------------------------------------------- fault specs
+def test_fault_spec_validation():
+    with pytest.raises(CountingError):
+        FaultSpec("nonsense", at_op=1)
+    with pytest.raises(CountingError):
+        FaultSpec("memory", at_op=0)
+    with pytest.raises(CountingError):
+        FaultSpec("clock_jump", at_op=1)  # needs jump_seconds > 0
+
+
+def test_fault_plan_fires_each_spec_once():
+    plan = FaultPlan(FaultSpec("memory", at_op=2))
+    plan.tick()
+    with pytest.raises(MemoryError):
+        plan.tick()
+    plan.tick()  # does not re-fire
+    assert plan.ops == 3
+
+
+def test_clock_jump_advances_injected_clock():
+    clock = ManualClock()
+    plan = FaultPlan(FaultSpec("clock_jump", at_op=1, jump_seconds=30.0))
+    plan.tick(clock)
+    assert clock() == pytest.approx(30.0)
+
+
+# -------------------------------------------------- engine-level faults
+def test_memory_fault_becomes_budget_error(g):
+    ctl = RunController(faults=FaultPlan(FaultSpec("memory", at_op=3)))
+    eng = SCTEngine(g, core_ordering(g))
+    with pytest.raises(MemoryBudgetExceededError) as ei:
+        eng.count(4, controller=ctl)
+    assert ei.value.spent.roots_done == 2  # two roots folded before op 3
+
+
+def test_clock_jump_trips_deadline(g):
+    clock = ManualClock()
+    ctl = RunController(
+        Budget(deadline_seconds=60.0),
+        faults=FaultPlan(FaultSpec("clock_jump", at_op=5, jump_seconds=120.0)),
+        clock=clock,
+    )
+    eng = SCTEngine(g, core_ordering(g))
+    with pytest.raises(DeadlineExceededError):
+        eng.count(4, controller=ctl)
+    assert ctl.spent.roots_done == 4
+
+
+def test_interrupt_propagates(g):
+    ctl = RunController(faults=FaultPlan(FaultSpec("interrupt", at_op=2)))
+    with pytest.raises(RunInterrupted):
+        SCTEngine(g, core_ordering(g)).count(4, controller=ctl)
+
+
+def test_kernel_fault_without_degrade_raises(g):
+    ctl = RunController(faults=FaultPlan(FaultSpec("kernel", at_op=2)))
+    with pytest.raises(KernelFaultError):
+        SCTEngine(g, core_ordering(g)).count(4, controller=ctl)
+
+
+# -------------------------------------- rung 1: kernel -> bigint fallback
+def test_faulty_kernel_fallback_identical_counts(g):
+    """A wordarray kernel fault mid-run falls back to bigint and the
+    final counts AND counters match the unfaulted run exactly."""
+    base = SCTEngine(g, core_ordering(g), kernel="bigint").count(4)
+    faulty = FaultyKernel(KERNELS["wordarray"](), fail_after=200)
+    eng = SCTEngine(g, core_ordering(g), kernel=faulty)
+    ctl = RunController(degrade=True)
+    r = eng.count(4, controller=ctl)
+    assert faulty.calls >= 200  # the fault actually fired
+    assert r.degraded_from == "wordarray"
+    assert r.kernel == "bigint"
+    assert not r.approximate  # fallback stays exact
+    assert r.count == base.count
+    assert r.counters.as_dict() == base.counters.as_dict()
+
+
+def test_faulty_kernel_fallback_all_k(g):
+    base = SCTEngine(g, core_ordering(g), kernel="bigint").count_all()
+    faulty = FaultyKernel(KERNELS["wordarray"](), fail_after=150)
+    eng = SCTEngine(g, core_ordering(g), kernel=faulty)
+    r = eng.count_all(controller=RunController(degrade=True))
+    assert r.degraded_from == "wordarray"
+    assert r.all_counts == base.all_counts
+
+
+def test_bigint_kernel_fault_not_swallowed(g):
+    """The ladder has no rung below the reference backend."""
+    faulty = FaultyKernel(KERNELS["bigint"](), fail_after=100)
+    eng = SCTEngine(g, core_ordering(g), kernel=faulty)
+    with pytest.raises(KernelFaultError):
+        eng.count(4, controller=RunController(degrade=True))
+
+
+# --------------------------------- rung 2: budget -> sampling (flagged)
+def test_degrade_to_sampling_flagged(g):
+    cfg = PivotScaleConfig(max_nodes=60, degrade=True)
+    with pytest.warns(DegradedResultWarning):
+        r = count_cliques(g, 4, cfg)
+    assert r.approximate
+    assert r.degraded_from == "exact"
+    assert r.budget_spent is not None and r.budget_spent.nodes > 60
+    exact = count_cliques(g, 4).count
+    # Exactly-counted roots are folded in; the estimate is unbiased,
+    # not exact — sanity-bound it rather than equality-check it.
+    assert r.count >= 0
+    assert isinstance(r.count, float)
+    assert exact > 0
+
+
+def test_degrade_folds_exact_progress(g):
+    """With p=1 sampling over the remainder, degrade reproduces the
+    exact total: partial exact + exhaustive 'sampling' of the rest."""
+    from repro.runtime.degrade import degrade_to_sampling
+
+    eng = SCTEngine(g, core_ordering(g))
+    ctl = RunController(Budget(max_nodes=80), degrade=True)
+    from repro.errors import NodeBudgetExceededError
+
+    with pytest.raises(NodeBudgetExceededError):
+        eng.count(4, controller=ctl)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        r = degrade_to_sampling(
+            eng, k=4, state=ctl.state(), p=1.0, repeats=1
+        )
+    assert r.approximate
+    assert r.count == float(count_cliques(g, 4).count)
+
+
+def test_degrade_all_k_with_p1(g):
+    from repro.errors import BudgetExceededError
+    from repro.runtime.degrade import degrade_to_sampling
+
+    base = SCTEngine(g, core_ordering(g)).count_all()
+    eng = SCTEngine(g, core_ordering(g))
+    ctl = RunController(Budget(max_nodes=80), degrade=True)
+    with pytest.raises(BudgetExceededError):
+        eng.count_all(controller=ctl)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        r = degrade_to_sampling(
+            eng, k=None, state=ctl.state(), p=1.0, repeats=1
+        )
+    assert r.approximate
+    assert [float(c) for c in base.all_counts] == r.all_counts[: len(base.all_counts)]
+
+
+# ----------------------------- rung 3: hybrid enumeration -> pivoting
+def test_hybrid_retries_pivoting_on_enum_budget(g):
+    cfg = PivotScaleConfig(max_nodes=40, degrade=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        r = count_cliques_hybrid(g, 4, switch_k=8, config=cfg)
+    # Enumeration blew the 40-node budget; the hybrid fell through to
+    # the pivoting pipeline (which may itself have degraded further).
+    assert r.algorithm == "pivoting"
+    assert r.degraded_from is not None
+    assert r.degraded_from.startswith("enumeration")
+
+
+def test_hybrid_no_degrade_raises(g):
+    from repro.errors import NodeBudgetExceededError
+
+    cfg = PivotScaleConfig(max_nodes=40)
+    with pytest.raises(NodeBudgetExceededError):
+        count_cliques_hybrid(g, 4, switch_k=8, config=cfg)
+
+
+# ----------------------------------------------------------------- CLI
+def test_cli_budget_exit_code(tmp_path, g, capsys):
+    path = tmp_path / "g.el"
+    write_edge_list(g, path)
+    code = cli_main(
+        ["count", "--edge-list", str(path), "-k", "4", "--max-nodes", "10"]
+    )
+    assert code == 3
+    assert "budget exhausted" in capsys.readouterr().err
+
+
+def test_cli_degrade_flag(tmp_path, g, capsys):
+    path = tmp_path / "g.el"
+    write_edge_list(g, path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedResultWarning)
+        code = cli_main(
+            ["count", "--edge-list", str(path), "-k", "4",
+             "--max-nodes", "10", "--degrade"]
+        )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "approximate" in out
+    assert "budget spent" in out
