@@ -1,0 +1,203 @@
+"""Materialized-forest benchmark: query folds vs repeated recursion.
+
+The :class:`~repro.counting.forest.SCTForest` exists so that a workload
+asking several questions of one graph — a k = 3..10 sweep plus a
+per-vertex query is the canonical example — pays the pivot recursion
+once instead of once per question.  This bench times exactly that
+workload both ways on every (graph, kernel backend) combination:
+
+* **direct** — one ``SCTEngine.count(k)`` run per k plus one
+  ``per_vertex_counts`` run, i.e. nine full traversals;
+* **forest** — the same queries answered from an already-built forest
+  (array folds; the one-time build cost is measured and reported
+  separately, with the break-even query count, but is *not* part of
+  the gated query time — the forest's contract is amortization).
+
+Every count is checked bit-identical between the two paths and across
+backends before any timing is trusted.  The gate requires the
+forest-served workload to be **>= 5x** faster than the repeated direct
+runs on every combination; CI runs ``--smoke`` on every push and fails
+on a gate miss or any count mismatch.
+
+Usage::
+
+    python benchmarks/bench_forest.py [--smoke] [--out BENCH_forest.json]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import Table, fmt_seconds, time_best, write_json_artifact
+from repro.counting.forest import build_forest
+from repro.counting.pervertex import per_vertex_counts
+from repro.counting.sct import SCTEngine
+from repro.datasets import load
+from repro.graph.generators import chung_lu, erdos_renyi, power_law_degrees
+from repro.kernels import KERNELS
+from repro.ordering import core_ordering, directionalize
+
+#: The gated workload: one count per k in this sweep + one per-vertex
+#: query at PV_K.
+K_SWEEP = tuple(range(3, 11))
+PV_K = 5
+
+#: Acceptance: forest-served queries >= 5x faster than repeated direct
+#: engine runs, on every (graph, backend) combination.
+GATE = 5.0
+
+
+def _bench_graphs(smoke: bool):
+    """(name, graph) pairs; small synthetic corpus + one analog."""
+    if smoke:
+        return [
+            ("er-120", erdos_renyi(120, 0.3, seed=11)),
+            ("cl-150", chung_lu(power_law_degrees(150, 2.3, 40, seed=3),
+                                seed=3)),
+        ]
+    return [
+        ("er-300", erdos_renyi(300, 0.25, seed=11)),
+        ("cl-400", chung_lu(power_law_degrees(400, 2.3, 60, seed=3),
+                            seed=3)),
+        ("dblp", load("dblp")),
+    ]
+
+
+def _direct_workload(graph, dag, kernel):
+    """The repeated-engine path: k-sweep + per-vertex, re-recursing."""
+    engine = SCTEngine(graph, dag, kernel=kernel)
+    counts = {k: engine.count(k).count for k in K_SWEEP}
+    per = per_vertex_counts(graph, PV_K, dag, kernel=kernel)
+    return counts, per
+
+
+def _forest_workload(forest):
+    """The same queries, served from the materialized leaves."""
+    counts = {k: forest.count(k) for k in K_SWEEP}
+    per = forest.per_vertex(PV_K)
+    return counts, per
+
+
+def run_forest_bench(*, smoke, number, repeats, out_path):
+    """Time the sweep workload direct-vs-forest; returns the payload."""
+    graphs = _bench_graphs(smoke)
+    table = Table(
+        title=f"forest vs repeated recursion (k={K_SWEEP[0]}..{K_SWEEP[-1]} "
+              f"sweep + per-vertex k={PV_K})",
+        columns=["graph", "kernel", "direct", "queries", "speedup",
+                 "build", "break-even"],
+    )
+    results = []
+    gate_pass = True
+    counts_match = True
+    reference_counts: dict[str, dict] = {}
+
+    for gname, g in graphs:
+        dag = directionalize(g, core_ordering(g))
+        for backend in sorted(KERNELS):
+            # Correctness first: both paths, bit-identical, and
+            # identical across backends (the bigint run is the oracle).
+            d_counts, d_per = _direct_workload(g, dag, backend)
+            t_build0 = time.perf_counter()
+            forest = build_forest(g, dag, kernel=backend)
+            build_s = time.perf_counter() - t_build0
+            f_counts, f_per = _forest_workload(forest)
+            ok = f_counts == d_counts and f_per == d_per
+            ref = reference_counts.setdefault(gname, d_counts)
+            ok = ok and ref == d_counts
+            counts_match = counts_match and ok
+
+            direct_s = time_best(
+                lambda: _direct_workload(g, dag, backend),
+                number=number, repeats=repeats,
+            )
+            query_s = time_best(
+                lambda: _forest_workload(forest),
+                number=max(number, 10), repeats=repeats,
+            )
+            speedup = direct_s / query_s
+            # Queries-to-break-even: after this many workload
+            # repetitions the build has paid for itself.
+            saved_per_query = direct_s - query_s
+            breakeven = (
+                build_s / saved_per_query if saved_per_query > 0 else
+                float("inf")
+            )
+            combo_pass = speedup >= GATE and ok
+            gate_pass = gate_pass and combo_pass
+            results.append({
+                "graph": gname,
+                "kernel": backend,
+                "num_leaves": forest.num_leaves,
+                "forest_bytes": forest.nbytes,
+                "direct_s": direct_s,
+                "forest_query_s": query_s,
+                "forest_build_s": build_s,
+                "speedup": round(speedup, 2),
+                "breakeven_workloads": round(breakeven, 3),
+                "counts_match": ok,
+                "pass": combo_pass,
+            })
+            table.add(
+                gname, backend, fmt_seconds(direct_s), fmt_seconds(query_s),
+                f"{speedup:.0f}x", fmt_seconds(build_s),
+                f"{breakeven:.2f}",
+            )
+
+    table.note(
+        f"gate: forest-served queries >= {GATE:.0f}x faster with "
+        f"bit-identical counts -> {'PASS' if gate_pass else 'FAIL'}"
+    )
+    table.note(
+        "break-even: workload repetitions after which the one-time "
+        "build has paid for itself (build is excluded from the gated "
+        "query time)"
+    )
+    table.show()
+
+    payload = {
+        "bench": "forest",
+        "config": {
+            "smoke": smoke,
+            "k_sweep": list(K_SWEEP),
+            "per_vertex_k": PV_K,
+            "number": number,
+            "repeats": repeats,
+        },
+        "results": results,
+        "gate": {
+            "threshold": GATE,
+            "counts_match": counts_match,
+            "pass": gate_pass,
+        },
+    }
+    artifact = write_json_artifact(out_path, payload)
+    print(f"wrote {artifact}")
+    return payload
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="materialized-forest query speedup benchmark")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small graphs, few repeats (CI)")
+    ap.add_argument("--out", default="BENCH_forest.json",
+                    help="JSON artifact path (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    cfg = (dict(smoke=True, number=1, repeats=2) if args.smoke
+           else dict(smoke=False, number=1, repeats=3))
+    payload = run_forest_bench(out_path=args.out, **cfg)
+    if not payload["gate"]["counts_match"]:
+        print("FAIL: forest-served counts diverged from the direct "
+              "engines", file=sys.stderr)
+        return 1
+    if not payload["gate"]["pass"]:
+        print("FAIL: forest-served queries missed the "
+              f">={GATE:.0f}x speedup gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

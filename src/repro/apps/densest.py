@@ -57,6 +57,7 @@ def kclique_densest_subgraph(
     k: int,
     *,
     recompute_every: int = 1,
+    use_forest: bool = True,
 ) -> DensestResult:
     """Greedy k-clique peeling; returns the densest prefix.
 
@@ -66,6 +67,12 @@ def kclique_densest_subgraph(
         Recompute per-vertex counts after this many peels (1 = exact
         greedy; larger values trade approximation quality for speed on
         big graphs).
+    use_forest:
+        Build one materialized :class:`~repro.counting.forest.SCTForest`
+        per iteration's subgraph and answer both the total count and
+        the per-vertex counts from it (default), instead of running two
+        separate SCT traversals per peel.  Results are identical — the
+        forest serves the exact same counts.
     """
     if k < 2:
         raise CountingError("densest subgraph needs k >= 2")
@@ -73,13 +80,36 @@ def kclique_densest_subgraph(
         raise CountingError("recompute_every must be >= 1")
     current = np.arange(g.num_vertices, dtype=np.int64)
     best_vertices = current.copy()
-    best_density = kclique_density(g, current, k)
+    best_density: Fraction | None = None
     sub = g
-    while current.size > k:
-        ordering = core_ordering(sub)
-        per = per_vertex_counts(sub, k, ordering)
-        if sum(per) == 0:
-            break  # no k-cliques left anywhere
+    while True:
+        # One traversal per iteration: total count (this prefix's
+        # density) and per-vertex counts (the peel decision) both come
+        # from the same materialized tree.
+        if use_forest and current.size:
+            from repro.counting.forest import build_forest
+
+            forest = build_forest(sub, core_ordering(sub))
+            total = forest.count(k)
+            per = forest.per_vertex(k) if current.size > k else None
+        else:
+            total = (
+                count_kcliques(sub, k, core_ordering(sub)).count or 0
+                if current.size
+                else 0
+            )
+            per = (
+                per_vertex_counts(sub, k, core_ordering(sub))
+                if current.size > k
+                else None
+            )
+        if current.size:
+            density = Fraction(total, int(current.size))
+            if best_density is None or density > best_density:
+                best_density = density
+                best_vertices = current.copy()
+        if per is None or sum(per) == 0:
+            break  # peeled to <= k vertices, or no k-cliques left
         order = np.argsort(np.array([float(c) for c in per]))
         drop = set(order[:recompute_every].tolist())
         keep_local = np.array(
@@ -88,12 +118,8 @@ def kclique_densest_subgraph(
         )
         current = current[keep_local]
         sub = induced_subgraph(sub, keep_local)
-        total = count_kcliques(sub, k, core_ordering(sub)).count or 0
-        if current.size:
-            density = Fraction(total, int(current.size))
-            if density > best_density:
-                best_density = density
-                best_vertices = current.copy()
+    if best_density is None:
+        best_density = Fraction(0)
     total_best = int(best_density * len(best_vertices))
     return DensestResult(
         vertices=tuple(int(v) for v in best_vertices),

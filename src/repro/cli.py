@@ -47,6 +47,21 @@ def build_parser() -> argparse.ArgumentParser:
         src.add_argument("--dataset", help="built-in analog name")
         src.add_argument("--edge-list", help="path to a whitespace edge list")
 
+    def add_forest(p: argparse.ArgumentParser) -> None:
+        grp = p.add_argument_group("materialized SCT forest")
+        grp.add_argument(
+            "--forest", choices=("auto", "build", "use", "off"),
+            default="auto",
+            help="auto: build one forest when several queries share the "
+                 "graph (e.g. count + --per-vertex); build: always "
+                 "build (saved to --forest-path when given); use: load "
+                 "a saved forest and answer every query from it; off: "
+                 "always re-recurse",
+        )
+        grp.add_argument("--forest-path", default=None, metavar="PATH",
+                         help=".npz file to save (--forest build) or "
+                              "load (--forest use) the forest")
+
     def add_resilience(p: argparse.ArgumentParser) -> None:
         grp = p.add_argument_group("resilience")
         grp.add_argument("--deadline", type=float, default=None,
@@ -85,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="modeled thread count")
     p_count.add_argument("--per-vertex", action="store_true",
                          help="also print the top-10 per-vertex counts")
+    add_forest(p_count)
     add_resilience(p_count)
 
     p_dist = sub.add_parser("dist", help="clique-size distribution")
@@ -94,6 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("bigint", "wordarray"), default="bigint",
         help="bitset-kernel backend for the counting hot path",
     )
+    add_forest(p_dist)
     add_resilience(p_dist)
 
     sub.add_parser("datasets", help="list dataset analogs")
@@ -150,8 +167,25 @@ def _cmd_count(args) -> int:
         ordering=args.ordering,
         threads=args.threads,
         effective_num_vertices=eff,
+        forest=args.forest,
+        forest_path=args.forest_path,
         **_resilience_kwargs(args),
     )
+
+    if cfg.forest == "use":
+        # Serve every query from a previously materialized forest —
+        # no recursion at all.
+        from repro.counting.forest import load_forest
+
+        forest = load_forest(cfg.forest_path, g)
+        print(f"graph: {g}")
+        print(f"forest: {forest.num_leaves:,} leaves "
+              f"(loaded from {cfg.forest_path})")
+        print(f"{args.k}-cliques: {forest.count(args.k):,}")
+        if args.per_vertex:
+            _print_top_per_vertex(forest.per_vertex(args.k))
+        return 0
+
     r = count_cliques(g, args.k, cfg)
     print(f"graph: {g}")
     print(f"ordering: {r.ordering.name} (max out-degree {r.max_out_degree})")
@@ -166,16 +200,33 @@ def _cmd_count(args) -> int:
     print(f"modeled {args.threads}-thread time: "
           f"{r.total_model_seconds:.6g} s "
           f"(wall: {r.wall_seconds:.3f} s single-core)")
+
+    # "build" always materializes the forest; "auto" does so only when
+    # a second query (per-vertex) makes the build pay for itself.
+    forest = None
+    if cfg.forest == "build" or (cfg.forest == "auto" and args.per_vertex):
+        from repro.counting.forest import get_forest
+
+        forest = get_forest(g, r.ordering, cfg.structure, cfg.kernel)
+        print(f"forest: {forest.num_leaves:,} leaves "
+              f"({forest.nbytes:,} bytes materialized)")
+        if cfg.forest == "build" and cfg.forest_path is not None:
+            forest.save(cfg.forest_path)
+            print(f"forest saved to {cfg.forest_path}")
     if args.per_vertex:
         from repro.counting import per_vertex_counts
 
-        per = per_vertex_counts(g, args.k, r.ordering)
-        top = sorted(range(len(per)), key=per.__getitem__, reverse=True)[:10]
-        print("top per-vertex counts:")
-        for v in top:
-            if per[v]:
-                print(f"  vertex {v}: {per[v]:,}")
+        per = per_vertex_counts(g, args.k, r.ordering, forest=forest)
+        _print_top_per_vertex(per)
     return 0
+
+
+def _print_top_per_vertex(per: list) -> None:
+    top = sorted(range(len(per)), key=per.__getitem__, reverse=True)[:10]
+    print("top per-vertex counts:")
+    for v in top:
+        if per[v]:
+            print(f"  vertex {v}: {per[v]:,}")
 
 
 def _cmd_dist(args) -> int:
@@ -184,8 +235,37 @@ def _cmd_dist(args) -> int:
     from repro.ordering import core_ordering
 
     g, _ = _load_graph(args)
-    cfg = PivotScaleConfig(kernel=args.kernel, **_resilience_kwargs(args))
+    cfg = PivotScaleConfig(kernel=args.kernel, forest=args.forest,
+                           forest_path=args.forest_path,
+                           **_resilience_kwargs(args))
     ctl = cfg.make_controller()
+
+    if cfg.forest in ("build", "use"):
+        # The whole distribution is one Pascal-row fold over the
+        # materialized leaves.
+        if cfg.forest == "use":
+            from repro.counting.forest import load_forest
+
+            forest = load_forest(cfg.forest_path, g)
+            origin = f"loaded from {cfg.forest_path}"
+        else:
+            from repro.counting.forest import get_forest
+
+            forest = get_forest(g, core_ordering(g), kernel=args.kernel,
+                                controller=ctl)
+            origin = "built"
+            if cfg.forest_path is not None:
+                forest.save(cfg.forest_path)
+                origin = f"built, saved to {cfg.forest_path}"
+        print(f"graph: {g}")
+        print(f"forest: {forest.num_leaves:,} leaves ({origin})")
+        for k, c in enumerate(forest.count_all(args.max_k)):
+            if k >= 1 and c:
+                print(f"  k={k:3d}: {c:,}")
+        if ctl is not None:
+            _print_budget(ctl.spent_snapshot())
+        return 0
+
     engine = SCTEngine(g, core_ordering(g), kernel=args.kernel)
     try:
         r = engine.count_all(max_k=args.max_k, controller=ctl)

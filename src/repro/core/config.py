@@ -66,6 +66,16 @@ class PivotScaleConfig:
         budget-exhaustion root sampling) instead of hard failure.
     checkpoint_every:
         Autosave period in completed roots.
+    forest:
+        Materialized-SCT-forest policy: ``"auto"`` (default — build a
+        forest only when the workload asks several questions of one
+        graph), ``"build"`` (always build, and save to ``forest_path``
+        when set), ``"use"`` (load a previously saved forest from
+        ``forest_path`` and serve every query from it), or ``"off"``
+        (always re-recurse).
+    forest_path:
+        Where ``forest="build"`` saves / ``forest="use"`` loads the
+        ``.npz`` forest (next to checkpoints).
     """
 
     structure: str = "remap"
@@ -83,6 +93,8 @@ class PivotScaleConfig:
     resume: bool = False
     degrade: bool = False
     checkpoint_every: int = 64
+    forest: str = "auto"
+    forest_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.structure not in ("dense", "sparse", "remap"):
@@ -106,6 +118,13 @@ class PivotScaleConfig:
             raise CountingError("resume=True requires a checkpoint_path")
         if self.checkpoint_every < 1:
             raise CountingError("checkpoint_every must be >= 1")
+        if self.forest not in ("auto", "build", "use", "off"):
+            raise CountingError(
+                f"unknown forest policy {self.forest!r}; "
+                "expected auto/build/use/off"
+            )
+        if self.forest == "use" and self.forest_path is None:
+            raise CountingError('forest="use" requires a forest_path')
 
     @property
     def wants_controller(self) -> bool:

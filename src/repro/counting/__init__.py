@@ -40,6 +40,12 @@ from repro.counting.maximal import (
 )
 from repro.counting.peredge import per_edge_counts
 from repro.counting.profiles import per_vertex_profiles
+from repro.counting.forest import (
+    SCTForest,
+    build_forest,
+    get_forest,
+    load_forest,
+)
 from repro.counting.listing import list_kcliques
 from repro.counting.sampling import (
     ApproxCount,
@@ -72,6 +78,10 @@ __all__ = [
     "maximum_clique",
     "per_edge_counts",
     "per_vertex_profiles",
+    "SCTForest",
+    "build_forest",
+    "get_forest",
+    "load_forest",
     "list_kcliques",
     "ApproxCount",
     "sample_count_vertex",

@@ -16,19 +16,29 @@ __all__ = ["clique_size_distribution", "max_clique_size"]
 
 
 def clique_size_distribution(
-    g: CSRGraph, ordering: Ordering | None = None
+    g: CSRGraph, ordering: Ordering | None = None, forest=None
 ) -> list[int]:
     """``result[s]`` = number of s-cliques for every s up to ``k_max``.
 
     A clique of size ``n`` contains ``C(n, k)`` k-cliques, maximized at
     ``k ~ n/2`` — so graphs with one large maximal clique peak in the
     middle of this distribution (Fig. 1).
+
+    ``forest`` may be a pre-built
+    :class:`~repro.counting.forest.SCTForest` of ``g``; the whole
+    distribution is then a Pascal-row fold over its leaves.
     """
+    if forest is not None:
+        return forest.count_all()
     ordn = core_ordering(g) if ordering is None else ordering
     return count_all_sizes(g, ordn).all_counts or [0]
 
 
-def max_clique_size(g: CSRGraph, ordering: Ordering | None = None) -> int:
+def max_clique_size(
+    g: CSRGraph, ordering: Ordering | None = None, forest=None
+) -> int:
     """The graph's ``k_max`` (Table I column), via the same SCT pass."""
+    if forest is not None:
+        return forest.max_clique_size()
     dist = clique_size_distribution(g, ordering)
     return len(dist) - 1

@@ -44,15 +44,22 @@ def per_edge_counts(
     structure: str = "remap",
     kernel: str | BitsetKernel | None = None,
     controller: RunController | None = None,
+    forest=None,
 ) -> dict[tuple[int, int], int]:
     """k-clique count per edge, keyed by ``(min(u,v), max(u,v))``.
 
     Only edges participating in at least one k-clique appear (other
     edges implicitly count 0).  ``k >= 2``; for ``k == 2`` every edge
     maps to 1.
+
+    ``forest`` may be a pre-built
+    :class:`~repro.counting.forest.SCTForest` of this graph; the query
+    is then answered from its materialized leaves without re-recursing.
     """
     if k < 2:
         raise CountingError(f"per-edge counts need k >= 2, got {k}")
+    if forest is not None:
+        return forest.per_edge(k)
     if graph.directed:
         raise CountingError("input graph must be undirected")
     if isinstance(ordering, CSRGraph):

@@ -37,15 +37,23 @@ def per_vertex_counts(
     structure: str = "remap",
     kernel: str | BitsetKernel | None = None,
     controller: RunController | None = None,
+    forest=None,
 ) -> list[int]:
     """Number of k-cliques containing each vertex (exact ints).
 
     A ``controller`` is consulted at root granularity for budgets and
     fault injection (attribution has no checkpoint state — a budget
     abort discards the run).
+
+    ``forest`` may be a pre-built
+    :class:`~repro.counting.forest.SCTForest` of this graph: the query
+    is then served from its materialized leaves (identical counts, no
+    re-recursion) — the fast path when several queries share one graph.
     """
     if k < 1:
         raise CountingError(f"clique size k must be >= 1, got {k}")
+    if forest is not None:
+        return forest.per_vertex(k)
     if graph.directed:
         raise CountingError("input graph must be undirected")
     if isinstance(ordering, CSRGraph):

@@ -36,14 +36,21 @@ def per_vertex_profiles(
     ordering: Ordering | np.ndarray | CSRGraph,
     structure: str = "remap",
     max_k: int | None = None,
+    forest=None,
 ) -> list[list[int]]:
     """``result[v][s]`` = number of s-cliques containing vertex ``v``.
 
     All rows share the same length (the graph's max clique size + 1, or
     ``max_k + 1`` when truncated); entries are exact ints.
+
+    ``forest`` may be a pre-built
+    :class:`~repro.counting.forest.SCTForest` of this graph; all
+    profile columns are then folded from its materialized leaves.
     """
     if graph.directed:
         raise CountingError("input graph must be undirected")
+    if forest is not None:
+        return forest.profiles(max_k)
     if isinstance(ordering, CSRGraph):
         dag = ordering
         if not dag.directed:

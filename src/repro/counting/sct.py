@@ -201,6 +201,34 @@ class SCTEngine:
         """
         return self._run(k=None, max_k=max_k, controller=controller)
 
+    def forest(
+        self,
+        *,
+        controller: RunController | None = None,
+        members: bool = True,
+        cache: bool = True,
+    ):
+        """Build (or fetch from the in-process cache) the materialized
+        :class:`~repro.counting.forest.SCTForest` for this engine's
+        (graph, DAG, structure, kernel).
+
+        One full pivot traversal up front; every subsequent
+        ``count(k)`` / ``count_all`` / ``per_vertex`` / ``per_edge`` /
+        ``sample_cliques`` query is an array fold over the recorded
+        leaves — the fast path when a graph is queried more than once.
+        """
+        from repro.counting.forest import get_forest
+
+        return get_forest(
+            self.graph,
+            self.dag,
+            self.structure.name,
+            self.kernel.name,
+            controller=controller,
+            members=members,
+            cache=cache,
+        )
+
     def count_root(self, v: int, k: int) -> int:
         """Exact k-clique count of the cliques rooted at ``v`` — the
         per-root task unit (used by the root-sampling degradation

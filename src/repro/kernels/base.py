@@ -99,6 +99,18 @@ class BitsetKernel(abc.ABC):
         """``|row(i) & mask|`` for every ``i`` — the batch
         intersect/popcount kernel the microbenchmarks time."""
 
+    def intersect_count_sweep(
+        self, rows: Any, mask: int
+    ) -> list[tuple[int, int]]:
+        """``(row(i) & mask, popcount)`` for every row — the batched
+        form of :meth:`intersect_count`.  Backends override when they
+        can amortize per-call overhead across the whole sweep (the
+        word-array backend popcounts all rows in one vector pass)."""
+        return [
+            self.intersect_count(rows, i, mask)
+            for i in range(self.num_rows(rows))
+        ]
+
     @abc.abstractmethod
     def pivot_select(self, rows: Any, P: int, pc: int) -> PivotChoice:
         """Choose the pivot maximizing ``|row(i) ∩ P|`` over ``i ∈ P``.

@@ -117,3 +117,15 @@ def test_densest_validation():
         kclique_densest_subgraph(g, 1)
     with pytest.raises(CountingError):
         kclique_densest_subgraph(g, 3, recompute_every=0)
+
+
+def test_densest_forest_path_matches_direct():
+    """The default forest-served peeling returns exactly the same
+    subgraph as re-recursing every iteration."""
+    for seed in (14, 15):
+        g = erdos_renyi(40, 0.3, seed=seed)
+        via_forest = kclique_densest_subgraph(g, 3, use_forest=True)
+        direct = kclique_densest_subgraph(g, 3, use_forest=False)
+        assert via_forest.vertices == direct.vertices
+        assert via_forest.density == direct.density
+        assert via_forest.clique_count == direct.clique_count

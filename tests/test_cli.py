@@ -52,6 +52,36 @@ def test_dist_command(tmp_path, capsys):
     assert "k=  3: 10" in out
 
 
+def test_count_forest_build_then_use(tmp_path, capsys):
+    path = tmp_path / "k6.el"
+    forest = tmp_path / "k6.forest.npz"
+    write_edge_list(complete_graph(6), path)
+    assert main(["count", "--edge-list", str(path), "-k", "3",
+                 "--per-vertex", "--forest", "build",
+                 "--forest-path", str(forest)]) == 0
+    built = capsys.readouterr().out
+    assert "3-cliques: 20" in built
+    assert forest.exists()
+    assert main(["count", "--edge-list", str(path), "-k", "3",
+                 "--per-vertex", "--forest", "use",
+                 "--forest-path", str(forest)]) == 0
+    used = capsys.readouterr().out
+    assert "3-cliques: 20" in used
+    # The loaded forest serves the same per-vertex attribution.
+    assert used[used.index("top per-vertex"):] == \
+        built[built.index("top per-vertex"):]
+
+
+def test_dist_forest_build(tmp_path, capsys):
+    path = tmp_path / "k5.el"
+    write_edge_list(complete_graph(5), path)
+    assert main(["dist", "--edge-list", str(path), "--max-k", "3",
+                 "--forest", "build"]) == 0
+    out = capsys.readouterr().out
+    assert "k=  2: 10" in out
+    assert "k=  3: 10" in out
+
+
 def test_orderings_command(tmp_path, capsys):
     path = tmp_path / "g.el"
     write_edge_list(complete_graph(8), path)

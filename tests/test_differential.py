@@ -17,71 +17,20 @@ import numpy as np
 import pytest
 
 from repro.counting import (
-    brute_force_count,
     count_all_sizes,
     count_kcliques,
     count_kcliques_enumeration,
 )
 from repro.counting.pivoter import run_pivoter
-from repro.graph.generators import (
-    chung_lu,
-    erdos_renyi,
-    overlay,
-    planted_cliques,
-    power_law_degrees,
-    rmat,
-)
 from repro.kernels import KERNELS
-from repro.ordering import core_ordering
+
+from tests.corpus import GRAPHS as _GRAPHS
+from tests.corpus import IDS as _IDS
+from tests.corpus import ordering as _ordering
+from tests.corpus import truth as _truth
 
 STRUCTURES_ALL = ("dense", "sparse", "remap")
 BACKENDS = tuple(sorted(KERNELS))  # ("bigint", "wordarray")
-
-
-def _make_graphs():
-    """~40 small seeded graphs spanning the three generator families."""
-    graphs = []
-    # R-MAT: skewed, community-structured (Graph500 parameters).
-    for i in range(14):
-        scale = 4 + (i % 2)  # 16 or 32 vertices
-        g = rmat(scale, edge_factor=2.0 + (i % 3), seed=1000 + i)
-        graphs.append((f"rmat-s{scale}-{i}", g))
-    # Chung-Lu: power-law degree tails.
-    for i in range(13):
-        n = 20 + i
-        w = power_law_degrees(n, exponent=2.2 + 0.05 * i, min_degree=2.0,
-                              seed=2000 + i)
-        graphs.append((f"chunglu-n{n}-{i}", chung_lu(w, seed=3000 + i)))
-    # Planted cliques over a sparse background: dense pockets.
-    for i in range(13):
-        n = 18 + i
-        sizes = [5 + (i % 3), 4]
-        plant = planted_cliques(n, sizes, seed=4000 + i,
-                                overlap=0.5 if i % 2 else 0.0)
-        bg = erdos_renyi(n, 0.08, seed=5000 + i)
-        graphs.append((f"planted-n{n}-{i}", overlay(n, plant, bg)))
-    return graphs
-
-
-_GRAPHS = _make_graphs()
-_IDS = [name for name, _ in _GRAPHS]
-
-# Lazy per-graph caches (ground truth is expensive; compute once).
-_TRUTH: dict[str, dict[int, int]] = {}
-_ORDERINGS: dict[str, object] = {}
-
-
-def _ordering(name, g):
-    if name not in _ORDERINGS:
-        _ORDERINGS[name] = core_ordering(g)
-    return _ORDERINGS[name]
-
-
-def _truth(name, g, k):
-    per = _TRUTH.setdefault(name, {})
-    if k not in per:
-        per[k] = brute_force_count(g, k)
-    return per[k]
 
 
 def test_suite_shape():
