@@ -32,6 +32,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.graph import CSRGraph, from_edge_array, from_edge_list
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,7 @@ __all__ = [
     "CSRGraph",
     "from_edge_array",
     "from_edge_list",
+    "obs",
     "ReproError",
     "GraphFormatError",
     "OrderingError",

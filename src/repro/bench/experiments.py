@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bench import paper_data
-from repro.bench.harness import Table, fmt_count, fmt_seconds, geometric_mean
+from repro.bench.harness import (
+    Table,
+    fmt_count,
+    fmt_seconds,
+    geometric_mean,
+    run_with_metrics,
+)
 from repro.core import PivotScaleConfig, count_cliques
 from repro.counting import count_all_sizes, count_kcliques
 from repro.counting.forest import build_forest
@@ -107,6 +113,19 @@ def _ordering_work_scale(name: str) -> float:
 
 def _counting(name: str, k: int, ordering, structure: str = "remap") -> CountResult:
     return count_kcliques(load(name), k, ordering, structure=structure)
+
+
+def _counting_with_metrics(
+    name: str, k: int, ordering, structure: str = "remap"
+):
+    """Like :func:`_counting` but also returns the metrics registry the
+    run was observed through.  The counter-derived report cells (Table
+    II call ratios, Table VI "calls") read the registry's canonical
+    names rather than the engine's private counter fields; the invariant
+    suite holds the two vocabularies exactly equal."""
+    return run_with_metrics(
+        count_kcliques, load(name), k, ordering, structure=structure
+    )
 
 
 def _model_counting_seconds(
@@ -283,9 +302,10 @@ def table2_counters(
             ("degree", degree_ordering(g)),
         ):
             dag_maxout = max_out_degree(g, ordering)
-            r = _counting(name, k, ordering)
+            r, reg = _counting_with_metrics(name, k, ordering)
             est[label] = (
                 r,
+                reg,
                 model.estimate_counting(
                     r.counters,
                     threads=64,
@@ -295,10 +315,23 @@ def table2_counters(
                     work_scale=_ordering_work_scale(name),
                 ),
             )
-        rc, ec = est["core"]
-        rd, ed = est["degree"]
+        rc, mc, ec = est["core"]
+        rd, md, ed = est["degree"]
         instr = ed.instructions / ec.instructions
-        calls = rd.counters.function_calls / rc.counters.function_calls
+        # The paper's "recursive function calls" column, read through the
+        # metrics registry (same exact integers as the engine counters;
+        # tests/test_obs.py pins the equality).
+        calls = (
+            md.total("engine_nodes_visited_total")
+            / mc.total("engine_nodes_visited_total")
+        )
+        res.check(
+            f"{name}: registry nodes-visited matches the exact recursion "
+            "counters for both orderings",
+            mc.total("engine_nodes_visited_total") == rc.counters.function_calls
+            and md.total("engine_nodes_visited_total")
+            == rd.counters.function_calls,
+        )
         mpki = ed.mpki / ec.mpki if ec.mpki else float("nan")
         ipc = ed.ipc / ec.ipc
         p_instr, p_calls, p_mpki, p_ipc = paper_data.TABLE2[name]
@@ -876,26 +909,37 @@ def table6_livejournal(
     data = {}
     res = ExperimentResult("table6", [t], data)
     scale = _ordering_work_scale(name)
+    registry_matches_counters = True
     for k in ks:
-        r = _counting(name, k, core)
+        r, reg = _counting_with_metrics(name, k, core)
         ps = (
             _model_ordering_seconds(name, core.cost)
             + _model_counting_seconds(name, r, maxout)
         )
-        max_frac = (
-            float(r.per_root_work.max() / r.counters.work)
-            if r.counters.work else 0.0
+        # Total-work denominator and the "calls" column come from the
+        # registry's canonical names; per-root distributions stay on the
+        # result (the registry only aggregates totals).
+        work = reg.total("engine_work_units_total")
+        calls = int(reg.total("engine_nodes_visited_total"))
+        registry_matches_counters &= (
+            calls == r.counters.function_calls and work == r.counters.work
         )
+        max_frac = float(r.per_root_work.max() / work) if work else 0.0
         v100 = gpu_pivot_time(r.counters, GPU_V100, max_out_degree=maxout,
                               work_scale=scale, max_task_fraction=max_frac)
         a100 = gpu_pivot_time(r.counters, GPU_A100, max_out_degree=maxout,
                               work_scale=scale, max_task_fraction=max_frac)
         data[k] = {
             "count": r.count, "pivotscale_s": ps, "v100_s": v100,
-            "a100_s": a100, "calls": r.counters.function_calls,
+            "a100_s": a100, "calls": calls,
         }
         t.add(k, fmt_count(r.count), fmt_seconds(ps), fmt_seconds(v100),
-              fmt_seconds(a100), r.counters.function_calls)
+              fmt_seconds(a100), calls)
+    res.check(
+        "registry work/calls totals match the exact engine counters "
+        "at every k",
+        registry_matches_counters,
+    )
     res.check(
         "counts grow by orders of magnitude with k",
         data[ks[-1]]["count"] > 20 * data[ks[0]]["count"],

@@ -17,6 +17,8 @@ __all__ = [
     "fmt_count",
     "fmt_rate",
     "time_best",
+    "run_with_metrics",
+    "metrics_summary_lines",
     "write_json_artifact",
 ]
 
@@ -75,13 +77,66 @@ def time_best(
     return best
 
 
-def write_json_artifact(path: str | Path, payload: dict[str, Any]) -> Path:
-    """Write a benchmark result dict as a JSON artifact (with metadata)."""
+def run_with_metrics(fn: Callable[..., Any], *args: Any, **kwargs: Any):
+    """Run ``fn(*args, **kwargs)`` under a fresh, enabled metrics registry.
+
+    Returns ``(result, registry)``.  This is the bench harness's bridge
+    to the observability layer: instead of reaching into engines'
+    private counter dicts, experiments read exact work totals back
+    through the canonical metric names —
+    ``registry.total("engine_nodes_visited_total")``,
+    ``registry.value("forest_cache_hits_total")`` and friends (catalog
+    in ``docs/observability.md``).  The registry is installed only for
+    the duration of the call (``obs.collecting``), so parallel
+    experiments never mix tallies and the process-global registry is
+    left untouched.
+    """
+    from repro import obs
+
+    with obs.collecting() as registry:
+        result = fn(*args, **kwargs)
+    return result, registry
+
+
+def metrics_summary_lines(registry) -> list[str]:
+    """Human-readable one-liners for the registry totals a benchmark
+    report cares about (exact work, not wall clock)."""
+    lines = []
+    for label, metric in (
+        ("recursion nodes visited", "engine_nodes_visited_total"),
+        ("SCT leaves reached", "engine_leaves_total"),
+        ("bitset words touched", "engine_set_op_words_total"),
+        ("work units (instruction proxy)", "engine_work_units_total"),
+        ("kernel calls", "kernel_calls_total"),
+        ("counting runs", "engine_runs_total"),
+        ("forest cache hits", "forest_cache_hits_total"),
+        ("forest cache misses", "forest_cache_misses_total"),
+        ("checkpoint writes", "runtime_checkpoint_writes_total"),
+        ("degradation events", "runtime_degradations_total"),
+    ):
+        v = registry.total(metric)
+        if v:
+            lines.append(f"{label}: {v:,.0f} ({metric})")
+    return lines
+
+
+def write_json_artifact(
+    path: str | Path, payload: dict[str, Any], *, registry: Any | None = None
+) -> Path:
+    """Write a benchmark result dict as a JSON artifact (with metadata).
+
+    Passing ``registry`` embeds its full
+    :meth:`~repro.obs.MetricsRegistry.as_dict` snapshot under a
+    ``"metrics"`` key, so artifacts carry the exact-work record
+    alongside the timings they were measured with.
+    """
     out = dict(payload)
     out.setdefault("meta", {}).update(
         python=platform.python_version(),
         machine=platform.machine(),
     )
+    if registry is not None:
+        out["metrics"] = registry.as_dict()
     path = Path(path)
     path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
     return path

@@ -40,6 +40,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PivotScale reproduction: scalable exact k-clique counting",
     )
+    grp = parser.add_argument_group(
+        "observability (see docs/observability.md)"
+    )
+    grp.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write the run's metrics registry as JSON")
+    grp.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="stream span/event records as JSON lines")
+    grp.add_argument("--profile", action="store_true",
+                     help="print a per-phase wall/CPU/memory breakdown")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_graph_source(p: argparse.ArgumentParser) -> None:
@@ -370,6 +379,34 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _setup_observability(args):
+    """Enable the obs layer per the global flags; returns a finisher
+    callable that flushes outputs (runs even when the command fails, so
+    a budget-aborted run still leaves its metrics/trace behind)."""
+    from repro import obs
+
+    wants = args.metrics_out or args.trace_out or args.profile
+    if not wants:
+        return lambda: None
+    sink = open(args.trace_out, "w", encoding="utf-8") \
+        if args.trace_out else None
+    obs.enable(trace_sink=sink, profile=args.profile)
+
+    def finish() -> None:
+        if args.metrics_out:
+            obs.get_registry().write_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        if sink is not None:
+            sink.close()
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if args.profile:
+            for line in obs.get_profiler().summary_lines():
+                print(line, file=sys.stderr)
+        obs.disable()
+
+    return finish
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -382,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "validate": _cmd_validate,
     }
+    finish = _setup_observability(args)
     try:
         return handlers[args.command](args)
     except BudgetExceededError as exc:
@@ -394,6 +432,8 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        finish()
 
 
 if __name__ == "__main__":  # pragma: no cover

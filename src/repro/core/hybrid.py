@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.config import PivotScaleConfig
 from repro.core.pivotscale import count_cliques
 from repro.counting.arbcount import count_kcliques_enumeration
@@ -99,25 +100,29 @@ def count_cliques_hybrid(
             degraded_from=joined,
         )
 
-    if k >= switch_k:
-        return pivoting()
-    ordering = degree_ordering(g)
-    ctl = cfg.make_controller()
-    try:
-        result = count_kcliques_enumeration(
-            g,
-            k,
-            ordering,
-            structure=cfg.structure,
-            kernel=cfg.kernel,
-            controller=ctl,
-        )
-    except BudgetExceededError:
-        if ctl is None or not ctl.degrade:
-            raise
-        # Middle rung: the enumeration tree exploded; the pivoting tree
-        # for the same k is far smaller — retry before sampling.
-        return pivoting(degraded_from="enumeration")
+    with obs.span("hybrid.count", k=k, switch_k=switch_k):
+        if k >= switch_k:
+            return pivoting()
+        with obs.phase("ordering"):
+            ordering = degree_ordering(g)
+        ctl = cfg.make_controller()
+        try:
+            result = count_kcliques_enumeration(
+                g,
+                k,
+                ordering,
+                structure=cfg.structure,
+                kernel=cfg.kernel,
+                controller=ctl,
+            )
+        except BudgetExceededError:
+            if ctl is None or not ctl.degrade:
+                raise
+            # Middle rung: the enumeration tree exploded; the pivoting
+            # tree for the same k is far smaller — retry before
+            # sampling.
+            obs.degradation("enumeration_retry", engine="hybrid", k=k)
+            return pivoting(degraded_from="enumeration")
     eff_nv = cfg.effective_num_vertices or float(g.num_vertices)
     work_scale = eff_nv / max(1.0, float(g.num_vertices))
     seconds = (

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.config import PivotScaleConfig
 from repro.core.result import CliqueCountResult, PhaseBreakdown
 from repro.counting.sct import SCTEngine
@@ -71,26 +72,32 @@ def _run(
 ) -> CliqueCountResult:
     if g.directed:
         raise CountingError("count_cliques expects an undirected graph")
-    ordering, decision = _materialize_ordering(g, config)
-    dag = directionalize(g, ordering)
-    engine = SCTEngine(g, dag, structure=config.structure, kernel=config.kernel)
-    ctl = controller if controller is not None else config.make_controller()
-    wall0 = time.perf_counter()
-    try:
-        counting = (
-            engine.count(k, controller=ctl)
-            if k is not None
-            else engine.count_all(max_k=max_k, controller=ctl)
+    with obs.span("pivotscale.run", k=k, max_k=max_k,
+                  structure=config.structure):
+        with obs.span("pivotscale.ordering"), obs.phase("ordering"):
+            ordering, decision = _materialize_ordering(g, config)
+            dag = directionalize(g, ordering)
+        engine = SCTEngine(
+            g, dag, structure=config.structure, kernel=config.kernel
         )
-    except BudgetExceededError as e:
-        if ctl is None or not ctl.degrade:
-            raise
-        # Bottom rung of the ladder: keep the exact per-root progress,
-        # estimate the uncounted roots, flag the result approximate.
-        counting = degrade_to_sampling(
-            engine, k=k, max_k=max_k, state=ctl.state(), cause=e
-        )
-    wall = time.perf_counter() - wall0
+        ctl = controller if controller is not None else config.make_controller()
+        wall0 = time.perf_counter()
+        try:
+            counting = (
+                engine.count(k, controller=ctl)
+                if k is not None
+                else engine.count_all(max_k=max_k, controller=ctl)
+            )
+        except BudgetExceededError as e:
+            if ctl is None or not ctl.degrade:
+                raise
+            # Bottom rung of the ladder: keep the exact per-root
+            # progress, estimate the uncounted roots, flag the result
+            # approximate.
+            counting = degrade_to_sampling(
+                engine, k=k, max_k=max_k, state=ctl.state(), cause=e
+            )
+        wall = time.perf_counter() - wall0
 
     eff_nv = config.effective_num_vertices or float(g.num_vertices)
     # Phase times for analogs are extrapolated to paper scale with a

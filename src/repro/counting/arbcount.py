@@ -25,6 +25,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from repro import obs
 from repro.counting.counters import Counters
 from repro.counting.sct import CountResult
 from repro.counting.structures import STRUCTURES
@@ -87,6 +88,7 @@ def count_kcliques_enumeration(
     per_root_work = np.zeros(n, dtype=np.float64)
     per_root_memory = np.zeros(n, dtype=np.float64)
     total = 0
+    done = 0
     degraded_from: str | None = None
 
     if k == 1:
@@ -112,40 +114,64 @@ def count_kcliques_enumeration(
         limits = [x for x in (max_nodes, ctl and ctl.remaining_nodes()) if x is not None]
         return [min(limits) if limits else -1]
 
-    with ctl.guard() if ctl is not None else nullcontext():
-        for v in range(n if k >= 3 else 0):
-            ctr = Counters()
-            try:
-                if ctl is not None:
-                    ctl.tick()
-                delta = _count_root(struct, v, k, ctr, seed_budget())
-            except MemoryError:
-                raise MemoryBudgetExceededError(
-                    f"out of memory while enumerating root {v}",
-                    spent=ctl.spent_snapshot() if ctl is not None else None,
-                )
-            except KernelFaultError:
-                if ctl is None or not ctl.degrade or struct.kernel.name == "bigint":
-                    raise
-                if degraded_from is None:
-                    degraded_from = struct.kernel.name
-                struct = STRUCTURES[structure](graph, dag, kernel="bigint")
+    span_attrs = {"engine": "enumeration", "structure": struct.name,
+                  "kernel": struct.kernel.name, "k": k}
+    if obs.get_tracer().enabled:
+        span_attrs["graph"] = graph_fingerprint(graph)
+    # As in the SCT engine, the `finally` publishes partial totals when
+    # a budget abort (the expected Fig. 12 outcome at large k) unwinds.
+    try:
+        with obs.span("enumeration.count", **span_attrs), obs.phase(
+            "counting"
+        ), (ctl.guard() if ctl is not None else nullcontext()):
+            for v in range(n if k >= 3 else 0):
                 ctr = Counters()
-                delta = _count_root(struct, v, k, ctr, seed_budget())
-            except NodeBudgetExceededError as e:
-                if ctl is not None and e.spent is None:
-                    ctl.spent.nodes += ctr.function_calls
-                    e.spent = ctl.spent_snapshot()
-                raise
-            if ctl is not None:
-                ctl.charge_nodes(ctr.function_calls)
-                ctl.note_memory(ctr.peak_subgraph_bytes)
-            total += delta
-            per_root_work[v] = ctr.work
-            per_root_memory[v] = ctr.peak_subgraph_bytes
-            totals.merge(ctr)
-            if ctl is not None:
-                ctl.complete_root(v)
+                try:
+                    if ctl is not None:
+                        ctl.tick()
+                    delta = _count_root(struct, v, k, ctr, seed_budget())
+                except MemoryError:
+                    raise MemoryBudgetExceededError(
+                        f"out of memory while enumerating root {v}",
+                        spent=ctl.spent_snapshot() if ctl is not None else None,
+                    )
+                except KernelFaultError:
+                    if (
+                        ctl is None
+                        or not ctl.degrade
+                        or struct.kernel.name == "bigint"
+                    ):
+                        raise
+                    if degraded_from is None:
+                        degraded_from = struct.kernel.name
+                    obs.degradation(
+                        "kernel_fallback", engine="enumeration", root=v,
+                        from_kernel=struct.kernel.name,
+                    )
+                    struct = STRUCTURES[structure](graph, dag, kernel="bigint")
+                    ctr = Counters()
+                    delta = _count_root(struct, v, k, ctr, seed_budget())
+                except NodeBudgetExceededError as e:
+                    if ctl is not None and e.spent is None:
+                        ctl.spent.nodes += ctr.function_calls
+                        e.spent = ctl.spent_snapshot()
+                    raise
+                if ctl is not None:
+                    ctl.charge_nodes(ctr.function_calls)
+                    ctl.note_memory(ctr.peak_subgraph_bytes)
+                total += delta
+                per_root_work[v] = ctr.work
+                per_root_memory[v] = ctr.peak_subgraph_bytes
+                totals.merge(ctr)
+                obs.note_memory(ctr.peak_subgraph_bytes)
+                done = v + 1
+                if ctl is not None:
+                    ctl.complete_root(v)
+    finally:
+        obs.record_run(
+            totals, engine="enumeration", structure=struct.name,
+            kernel=struct.kernel.name, roots=done,
+        )
     return CountResult(
         count=total,
         all_counts=None,

@@ -78,6 +78,19 @@ class Counters:
         """Scalar work units for scheduling: the instruction proxy."""
         return self.set_op_words + self.index_lookups + self.build_words
 
+    def publish(self, **labels) -> None:
+        """Fold this counter set into the process metrics registry.
+
+        The field → metric-name mapping lives in
+        :data:`repro.obs.registry.COUNTER_METRICS`; the engines call
+        this (via :func:`repro.obs.record_run`) once per run, so the
+        hot recursion keeps accumulating into plain fields and the
+        registry is the one vocabulary every consumer reads.
+        """
+        from repro import obs
+
+        obs.record_counters(self, **labels)
+
     @classmethod
     def from_dict(cls, d: dict) -> "Counters":
         """Exact inverse of :meth:`as_dict` (ignores derived keys) —

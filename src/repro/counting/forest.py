@@ -57,6 +57,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from repro import obs
 from repro.counting.binomial import binomial, binomial_row
 from repro.counting.counters import Counters
 from repro.counting.structures import STRUCTURES, SubgraphStructure
@@ -331,6 +332,7 @@ class SCTForest:
             nonlocal held_members, pivot_members, spilled, degraded_from
             held_members = pivot_members = None
             spilled = True
+            obs.degradation("member_spill", engine="sct-forest")
             if degraded_from is None:
                 degraded_from = "members"
 
@@ -341,56 +343,82 @@ class SCTForest:
             )
             return ctr, leaves
 
-        with ctl.guard() if ctl is not None else nullcontext():
-            for v in range(start, n):
-                if ctl is None:
-                    ctr, leaves = run_root(v)
-                else:
-                    try:
-                        ctl.tick()
+        span_attrs = {"engine": "sct-forest", "structure": struct.name,
+                      "kernel": struct.kernel.name, "members": bool(members)}
+        if obs.get_tracer().enabled:
+            span_attrs["graph"] = descriptor["graph_fingerprint"]
+        try:
+            with obs.span("forest.build", **span_attrs), obs.phase(
+                "forest_build"
+            ), (ctl.guard() if ctl is not None else nullcontext()):
+                for v in range(start, n):
+                    if ctl is None:
                         ctr, leaves = run_root(v)
-                    except MemoryError as exc:
-                        raise MemoryBudgetExceededError(
-                            f"allocation failure at root {v}",
-                            spent=ctl.spent_snapshot(),
-                        ) from exc
-                    except KernelFaultError:
-                        if not ctl.degrade or struct.kernel.name == "bigint":
-                            raise
-                        fallen = struct.kernel.name
-                        struct = type(struct)(graph, dag, kernel="bigint")
-                        descriptor["kernel"] = "bigint"
-                        if degraded_from is None:
-                            degraded_from = fallen
-                        ctr, leaves = run_root(v)
-                    ctl.charge_nodes(ctr.function_calls)
-                for h_count, p_count, h_ids, p_ids in leaves:
-                    held_n.append(h_count)
-                    pivot_n.append(p_count)
-                    roots.append(v)
-                    if held_members is not None and h_ids is not None:
-                        held_members.extend(h_ids)
-                        pivot_members.extend(p_ids)
-                per_root_work[v] = ctr.work
-                per_root_memory[v] = ctr.peak_subgraph_bytes
-                totals.merge(ctr)
-                done = v + 1
-                if ctl is not None:
-                    try:
-                        ctl.note_memory(
-                            max(ctr.peak_subgraph_bytes, forest_model_bytes())
-                        )
-                    except MemoryBudgetExceededError:
-                        # The forest itself crossed the watermark.  The
-                        # degradation rung: spill the member arrays and
-                        # keep the exact counts-only forest.
-                        if not ctl.degrade or held_members is None:
-                            raise
-                        spill()
-                        ctl.note_memory(
-                            max(ctr.peak_subgraph_bytes, forest_model_bytes())
-                        )
-                    ctl.complete_root(v)
+                    else:
+                        try:
+                            ctl.tick()
+                            ctr, leaves = run_root(v)
+                        except MemoryError as exc:
+                            raise MemoryBudgetExceededError(
+                                f"allocation failure at root {v}",
+                                spent=ctl.spent_snapshot(),
+                            ) from exc
+                        except KernelFaultError:
+                            if (
+                                not ctl.degrade
+                                or struct.kernel.name == "bigint"
+                            ):
+                                raise
+                            fallen = struct.kernel.name
+                            obs.degradation(
+                                "kernel_fallback", engine="sct-forest",
+                                root=v, from_kernel=fallen,
+                            )
+                            struct = type(struct)(graph, dag, kernel="bigint")
+                            descriptor["kernel"] = "bigint"
+                            if degraded_from is None:
+                                degraded_from = fallen
+                            ctr, leaves = run_root(v)
+                        ctl.charge_nodes(ctr.function_calls)
+                    for h_count, p_count, h_ids, p_ids in leaves:
+                        held_n.append(h_count)
+                        pivot_n.append(p_count)
+                        roots.append(v)
+                        if held_members is not None and h_ids is not None:
+                            held_members.extend(h_ids)
+                            pivot_members.extend(p_ids)
+                    per_root_work[v] = ctr.work
+                    per_root_memory[v] = ctr.peak_subgraph_bytes
+                    totals.merge(ctr)
+                    obs.note_memory(ctr.peak_subgraph_bytes)
+                    done = v + 1
+                    if ctl is not None:
+                        try:
+                            ctl.note_memory(
+                                max(ctr.peak_subgraph_bytes,
+                                    forest_model_bytes())
+                            )
+                        except MemoryBudgetExceededError:
+                            # The forest itself crossed the watermark.
+                            # The degradation rung: spill the member
+                            # arrays, keep the exact counts-only forest.
+                            if not ctl.degrade or held_members is None:
+                                raise
+                            spill()
+                            ctl.note_memory(
+                                max(ctr.peak_subgraph_bytes,
+                                    forest_model_bytes())
+                            )
+                        ctl.complete_root(v)
+        finally:
+            obs.record_run(
+                totals, engine="sct-forest", structure=struct.name,
+                kernel=struct.kernel.name, roots=done - start,
+            )
+            reg = obs.get_registry()
+            if reg.enabled:
+                reg.gauge("forest_leaves").set(len(held_n))
+                reg.gauge("forest_model_bytes").set(forest_model_bytes())
 
         descriptor["members"] = held_members is not None
         return cls(
@@ -416,11 +444,18 @@ class SCTForest:
     # ------------------------------------------------------------------
     # counting queries — exact folds over the (|H|, |Π|) pair table
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record_query(query: str) -> None:
+        reg = obs.get_registry()
+        if reg.enabled:
+            reg.counter("forest_queries_total", query=query).inc()
+
     def count(self, k: int) -> int:
         """Exact number of k-cliques, identical to
         :meth:`SCTEngine.count(k).count <repro.counting.sct.SCTEngine.count>`."""
         if k < 1:
             raise CountingError(f"clique size k must be >= 1, got {k}")
+        self._record_query("count")
         total = 0
         for h, p, m in self._pairs:
             c = binomial(p, k - h)
@@ -435,6 +470,7 @@ class SCTForest:
         trimmed, at least ``[0]``)."""
         if max_k is not None and max_k < 1:
             raise CountingError("max_k must be >= 1")
+        self._record_query("count_all")
         cap = None if max_k is None else max_k + 1
         top = 0
         for h, p, _ in self._pairs:
@@ -454,6 +490,7 @@ class SCTForest:
 
     def max_clique_size(self) -> int:
         """The graph's ``k_max`` — the deepest ``|H| + |Π|`` leaf."""
+        self._record_query("max_clique_size")
         top = 0
         for h, p, _ in self._pairs:
             top = max(top, h + p)
@@ -491,6 +528,7 @@ class SCTForest:
         :func:`repro.counting.pervertex.per_vertex_counts`."""
         if k < 1:
             raise CountingError(f"clique size k must be >= 1, got {k}")
+        self._record_query("per_vertex")
         self._require_members("per-vertex attribution")
         n = self.num_vertices
         if self.num_leaves == 0:
@@ -529,6 +567,7 @@ class SCTForest:
 
         if k < 2:
             raise CountingError(f"per-edge counts need k >= 2, got {k}")
+        self._record_query("per_edge")
         self._require_members("per-edge attribution")
         per: dict[tuple[int, int], int] = {}
         hm = self.held_members.tolist()
@@ -563,6 +602,7 @@ class SCTForest:
         """Per-vertex clique profiles — identical to
         :func:`repro.counting.profiles.per_vertex_profiles`
         (``result[v][s]`` = s-cliques containing ``v``)."""
+        self._record_query("profiles")
         self._require_members("profile attribution")
         n = self.num_vertices
         if n == 0:
@@ -595,6 +635,7 @@ class SCTForest:
             raise CountingError(f"clique size k must be >= 1, got {k}")
         if n_samples < 0:
             raise CountingError("n_samples must be >= 0")
+        self._record_query("sample_cliques")
         self._require_members("clique sampling")
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
@@ -862,9 +903,16 @@ def get_forest(
 
     kern = resolve_kernel(kernel)
     key = forest_cache_key(graph, dag, structure, kern.name, members)
+    reg = obs.get_registry()
     if cache and key in _CACHE:
+        if reg.enabled:
+            reg.counter("forest_cache_hits_total").inc()
         _CACHE.move_to_end(key)
         return _CACHE[key]
+    # Every get_forest call is exactly one hit or one miss (cache=False
+    # is a miss): hits + misses == calls, pinned by tests/test_obs.py.
+    if reg.enabled:
+        reg.counter("forest_cache_misses_total").inc()
     forest = SCTForest.build(
         graph, dag, structure, kern, controller=controller, members=members
     )

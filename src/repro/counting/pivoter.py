@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.counting.sct import CountResult, SCTEngine
 from repro.graph.csr import CSRGraph
 from repro.ordering.base import Ordering
@@ -61,8 +62,10 @@ def run_pivoter(
     supervises the counting phase (budgets, checkpoint/resume, fault
     injection) exactly as for the SCT engine.
     """
-    ordering = core_ordering(graph)
-    engine = SCTEngine(graph, ordering, structure="dense", kernel=kernel)
-    return PivoterRun(
-        result=engine.count(k, controller=controller), ordering=ordering
-    )
+    with obs.span("pivoter.run", engine="pivoter", k=k):
+        with obs.phase("ordering"):
+            ordering = core_ordering(graph)
+        engine = SCTEngine(graph, ordering, structure="dense", kernel=kernel)
+        return PivoterRun(
+            result=engine.count(k, controller=controller), ordering=ordering
+        )

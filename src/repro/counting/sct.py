@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.counting.binomial import binomial, binomial_row
 from repro.counting.counters import Counters
 from repro.counting.structures import STRUCTURES, SubgraphStructure
@@ -267,6 +268,22 @@ class SCTEngine:
             "dag_fingerprint": graph_fingerprint(self.dag),
         }
 
+    def _span_attrs(self, k: int | None, max_k: int | None) -> dict:
+        """Trace attributes for one run span (fingerprint only computed
+        when a tracer will actually record it)."""
+        attrs = {
+            "engine": "sct",
+            "structure": self.structure.name,
+            "kernel": self.kernel.name,
+        }
+        if k is not None:
+            attrs["k"] = k
+        if max_k is not None:
+            attrs["max_k"] = max_k
+        if obs.get_tracer().enabled:
+            attrs["graph"] = graph_fingerprint(self.graph)
+        return attrs
+
     def _fallback_to_bigint(self) -> str:
         """Kernel-fault rung of the degradation ladder: rebuild the
         structure on the ``bigint`` reference backend.  Returns the
@@ -342,43 +359,64 @@ class SCTEngine:
                 return ctr, 0, self._count_root_all(v, cap, length, ctr)
             return ctr, self._count_root_k(v, k, ctr, early_termination), None
 
-        with ctl.guard() if ctl is not None else nullcontext():
-            for v in range(start, n):
-                if ctl is None:
-                    ctr, delta, local = run_root(v)
-                else:
-                    # Budget/fault checks all happen BEFORE the root is
-                    # folded into the totals: a root is all-in or
-                    # not-at-all, which keeps checkpoints consistent.
-                    try:
-                        ctl.tick()
+        # Span + metrics wrap the whole root loop; the `finally` still
+        # publishes partial totals when a budget abort unwinds mid-run.
+        try:
+            with obs.span(
+                "sct.count" if k is not None else "sct.count_all",
+                **self._span_attrs(k, max_k),
+            ), obs.phase("counting"), (
+                ctl.guard() if ctl is not None else nullcontext()
+            ):
+                for v in range(start, n):
+                    if ctl is None:
                         ctr, delta, local = run_root(v)
-                    except MemoryError as exc:
-                        raise MemoryBudgetExceededError(
-                            f"allocation failure at root {v}",
-                            spent=ctl.spent_snapshot(),
-                        ) from exc
-                    except KernelFaultError:
-                        if not ctl.degrade or self.kernel.name == "bigint":
-                            raise
-                        fallen = self._fallback_to_bigint()
-                        if degraded_from is None:
-                            degraded_from = fallen
-                        ctr, delta, local = run_root(v)
-                    ctl.charge_nodes(ctr.function_calls)
-                    ctl.note_memory(ctr.peak_subgraph_bytes)
-                if local is not None:
-                    for s in range(length):
-                        if local[s]:
-                            all_counts[s] += local[s]
-                else:
-                    total += delta
-                per_root_work[v] = ctr.work
-                per_root_memory[v] = ctr.peak_subgraph_bytes
-                totals.merge(ctr)
-                done = v + 1
-                if ctl is not None:
-                    ctl.complete_root(v)
+                    else:
+                        # Budget/fault checks all happen BEFORE the root
+                        # is folded into the totals: a root is all-in or
+                        # not-at-all, which keeps checkpoints consistent.
+                        try:
+                            ctl.tick()
+                            ctr, delta, local = run_root(v)
+                        except MemoryError as exc:
+                            raise MemoryBudgetExceededError(
+                                f"allocation failure at root {v}",
+                                spent=ctl.spent_snapshot(),
+                            ) from exc
+                        except KernelFaultError:
+                            if (
+                                not ctl.degrade
+                                or self.kernel.name == "bigint"
+                            ):
+                                raise
+                            fallen = self._fallback_to_bigint()
+                            obs.degradation(
+                                "kernel_fallback", engine="sct", root=v,
+                                from_kernel=fallen,
+                            )
+                            if degraded_from is None:
+                                degraded_from = fallen
+                            ctr, delta, local = run_root(v)
+                        ctl.charge_nodes(ctr.function_calls)
+                        ctl.note_memory(ctr.peak_subgraph_bytes)
+                    if local is not None:
+                        for s in range(length):
+                            if local[s]:
+                                all_counts[s] += local[s]
+                    else:
+                        total += delta
+                    per_root_work[v] = ctr.work
+                    per_root_memory[v] = ctr.peak_subgraph_bytes
+                    totals.merge(ctr)
+                    obs.note_memory(ctr.peak_subgraph_bytes)
+                    done = v + 1
+                    if ctl is not None:
+                        ctl.complete_root(v)
+        finally:
+            obs.record_run(
+                totals, engine="sct", structure=self.structure.name,
+                kernel=self.kernel.name, roots=done - start,
+            )
 
         if all_counts is not None:
             while len(all_counts) > 1 and all_counts[-1] == 0:

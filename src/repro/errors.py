@@ -22,6 +22,7 @@ __all__ = [
     "CountingError",
     "ParallelModelError",
     "DatasetError",
+    "TraceFormatError",
     "BudgetExceededError",
     "DeadlineExceededError",
     "NodeBudgetExceededError",
@@ -55,6 +56,15 @@ class ParallelModelError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset analog is unknown or cannot be built."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when a JSON-lines trace file is malformed.
+
+    Carries the 1-based line number in the message, mirroring
+    :class:`GraphFormatError`'s discipline for graph inputs
+    (see :func:`repro.obs.parse_trace_lines`).
+    """
 
 
 class BudgetExceededError(ReproError):

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -127,6 +128,14 @@ def heuristic_inputs(
     a_neighbor = int(nbrs[j])
     a = int(nbr_degs[j])
     frac = common_neighbor_fraction(g, hub, a_neighbor)
+    reg = obs.get_registry()
+    if reg.enabled:
+        reg.counter("stats_heuristic_evals_total").inc()
+        # One hub-neighborhood scan + one common-neighbor intersection:
+        # the modeled cost the Sec. III-E heuristic pass charges.
+        reg.counter("stats_heuristic_work_total").inc(
+            int(nbrs.size) + int(g.degree(a_neighbor))
+        )
     return HeuristicInputs(
         hub=hub,
         hub_degree=g.degree(hub),
@@ -156,7 +165,13 @@ def count_triangles(g: CSRGraph) -> int:
         nbrs = g.neighbors(u)
         out.append(np.sort(nbrs[pos[nbrs] > pos[u]]))
     total = 0
+    intersections = 0
     for u in range(n):
         for v in out[u]:
             total += np.intersect1d(out[u], out[int(v)], assume_unique=True).size
+            intersections += 1
+    reg = obs.get_registry()
+    if reg.enabled:
+        reg.counter("stats_triangle_scans_total").inc(intersections)
+        reg.counter("stats_triangles_found_total").inc(int(total))
     return int(total)

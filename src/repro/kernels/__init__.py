@@ -36,13 +36,21 @@ def resolve_kernel(kernel: str | BitsetKernel | None = None) -> BitsetKernel:
 
     Backends may hold preallocated scratch buffers, so a fresh instance
     is created per call — do not share one across threads.
+
+    This is also the observability seam: when metrics collection is on
+    (:func:`repro.obs.enabled`), the resolved backend is wrapped in a
+    call-counting :class:`~repro.obs.InstrumentedKernel`; when it is
+    off — the default — the raw backend is returned and the hot path
+    pays nothing.
     """
+    from repro import obs  # function-local: obs imports kernels.base
+
     if kernel is None:
         kernel = DEFAULT_KERNEL
     if isinstance(kernel, BitsetKernel):
-        return kernel
+        return obs.instrument_kernel(kernel)
     try:
-        return KERNELS[kernel]()
+        return obs.instrument_kernel(KERNELS[kernel]())
     except KeyError:
         raise CountingError(
             f"unknown kernel {kernel!r}; expected one of {sorted(KERNELS)}"

@@ -1,0 +1,78 @@
+"""Adapters rendering other trace kinds through the span report path.
+
+The repo already has a second notion of "trace": the simulated
+64-thread machine's per-thread Gantt timeline
+(:class:`repro.parallel.trace.Timeline`, reproducing the paper's
+Sec. IV load-balance measurement).  This module maps a timeline onto
+the same :class:`~repro.obs.tracing.SpanNode` trees the JSON-lines
+tracer parses into — one root span per thread, one child span per
+executed chunk — so both trace kinds render through one
+:func:`~repro.obs.tracing.render_spans` report path, and timelines can
+be serialized in the identical JSON-lines wire format
+(:func:`timeline_to_records`).
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import SpanNode
+
+__all__ = ["timeline_to_spans", "timeline_to_records"]
+
+
+def timeline_to_spans(timeline) -> list[SpanNode]:
+    """One :class:`SpanNode` root per thread, chunk spans as children.
+
+    Root spans run from 0 to the thread's last chunk end (its busy
+    horizon); attributes carry the machine-model vocabulary (thread,
+    task range) so a rendered timeline reads like a rendered run trace.
+    """
+    per_thread: dict[int, list] = {t: [] for t in range(timeline.threads)}
+    for s in timeline.spans:
+        per_thread[s.thread].append(s)
+    roots: list[SpanNode] = []
+    next_id = 1
+    for t in range(timeline.threads):
+        chunks = sorted(per_thread[t], key=lambda s: s.start)
+        end = chunks[-1].end if chunks else 0.0
+        root = SpanNode(
+            span_id=next_id,
+            name=f"thread-{t}",
+            attrs={"thread": t, "chunks": len(chunks)},
+            t0=0.0,
+            t1=end,
+        )
+        next_id += 1
+        for s in chunks:
+            root.children.append(SpanNode(
+                span_id=next_id,
+                name="chunk",
+                attrs={"first_task": s.first_task, "last_task": s.last_task},
+                t0=s.start,
+                t1=s.end,
+            ))
+            next_id += 1
+        roots.append(root)
+    return roots
+
+
+def timeline_to_records(timeline) -> list[dict]:
+    """The same mapping as JSON-lines-ready record dicts (round-trips
+    through :func:`~repro.obs.tracing.parse_trace_lines`)."""
+    records: list[dict] = []
+
+    def emit(node: SpanNode, parent: int | None) -> None:
+        for child in node.children:
+            emit(child, node.span_id)
+        records.append({
+            "type": "span",
+            "id": node.span_id,
+            "parent": parent,
+            "name": node.name,
+            "attrs": node.attrs,
+            "t0": node.t0,
+            "t1": node.t1,
+        })
+
+    for root in timeline_to_spans(timeline):
+        emit(root, None)
+    return records

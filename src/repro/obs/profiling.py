@@ -1,0 +1,121 @@
+"""Opt-in phase profiling: wall/CPU time and peak modeled memory.
+
+The paper's evaluation separates ordering time from counting time
+(Figs. 6-8) and reports peak process RSS per structure (Sec. VI-D).
+This module gives every pipeline run the same breakdown: a
+:class:`Profiler` collects one :class:`PhaseProfile` per named phase —
+wall seconds (``time.perf_counter``), CPU seconds
+(``time.process_time``) and the peak *modeled* memory the phase
+reported through :meth:`Profiler.note_memory` (fed by the existing
+:mod:`repro.perfmodel.memory` machinery and the engines'
+``peak_subgraph_bytes`` counters, so profile memory and the paper's
+Sec. VI-D model agree by construction).
+
+Profiling is opt-in (the CLI's ``--profile``) and entirely separate
+from the metrics registry's enabled flag: metrics are cheap exact
+integers, clock reads are not, so each is gated independently.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["PhaseProfile", "Profiler"]
+
+
+@dataclass
+class PhaseProfile:
+    """Measured cost of one named phase."""
+
+    name: str
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    calls: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "calls": self.calls,
+        }
+
+
+class Profiler:
+    """Accumulates per-phase wall/CPU time and peak modeled memory.
+
+    Phases with the same name accumulate (a k-sweep's eight counting
+    phases fold into one row).  Nested phases each pay their own clock
+    reads; the outer phase's wall time includes the inner's, exactly
+    like the paper's total-vs-phase accounting.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.phases: dict[str, PhaseProfile] = {}
+        self._active: list[str] = []
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.phases.clear()
+        self._active.clear()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; no-op (and no clock read) when disabled."""
+        if not self.enabled:
+            yield self
+            return
+        prof = self.phases.get(name)
+        if prof is None:
+            prof = self.phases[name] = PhaseProfile(name)
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        self._active.append(name)
+        try:
+            yield self
+        finally:
+            self._active.pop()
+            prof.wall_seconds += time.perf_counter() - w0
+            prof.cpu_seconds += time.process_time() - c0
+            prof.calls += 1
+
+    def note_memory(self, peak_bytes: int | float) -> None:
+        """Report a peak modeled footprint to every active phase."""
+        if not self.enabled:
+            return
+        peak = int(peak_bytes)
+        for name in self._active:
+            prof = self.phases[name]
+            if peak > prof.peak_memory_bytes:
+                prof.peak_memory_bytes = peak
+
+    def summary_lines(self) -> list[str]:
+        """Printable per-phase breakdown (the ``--profile`` output)."""
+        if not self.phases:
+            return ["profile: no phases recorded"]
+        lines = [f"{'phase':20s} {'wall(s)':>10s} {'cpu(s)':>10s} "
+                 f"{'peak mem':>12s} {'calls':>6s}"]
+        for prof in self.phases.values():
+            lines.append(
+                f"{prof.name:20s} {prof.wall_seconds:>10.4f} "
+                f"{prof.cpu_seconds:>10.4f} "
+                f"{prof.peak_memory_bytes:>12,d} {prof.calls:>6d}"
+            )
+        return lines
+
+    def as_dict(self) -> dict:
+        return {"phases": [p.as_dict() for p in self.phases.values()]}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Profiler {state} phases={sorted(self.phases)}>"

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import OrderingError
 
 __all__ = ["ParallelCost", "Ordering", "rank_from_keys"]
@@ -79,6 +80,10 @@ class Ordering:
         if n and (np.sort(rank) != np.arange(n)).any():
             raise OrderingError(f"{self.name}: rank is not a permutation of 0..n-1")
         self.rank.setflags(write=False)
+        # Every validated ordering publishes its work profile; the
+        # registry replaces the ad-hoc tallies harnesses used to pull
+        # out of ParallelCost by hand (no-op while metrics are off).
+        obs.record_ordering(self)
 
     @property
     def num_vertices(self) -> int:

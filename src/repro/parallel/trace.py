@@ -74,6 +74,23 @@ class Timeline:
         return float(self.busy_times().sum() / total) if total else 1.0
 
     # ------------------------------------------------------------------
+    def to_spans(self):
+        """This timeline as :class:`~repro.obs.SpanNode` trees (one
+        root per thread, chunk children) — the adapter that lets the
+        simulated machine's Gantt trace render through the same
+        :func:`repro.obs.render_spans` report path as a run trace."""
+        from repro.obs.adapter import timeline_to_spans
+
+        return timeline_to_spans(self)
+
+    def to_span_records(self) -> list[dict]:
+        """JSON-lines-ready span records for this timeline; round-trips
+        through :func:`repro.obs.parse_trace_lines`."""
+        from repro.obs.adapter import timeline_to_records
+
+        return timeline_to_records(self)
+
+    # ------------------------------------------------------------------
     def to_svg(self, *, width: int = 760, row_height: int = 12) -> str:
         """Render the timeline as a Gantt chart (one row per thread)."""
         from xml.sax.saxutils import escape

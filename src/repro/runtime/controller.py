@@ -29,6 +29,7 @@ import os
 from contextlib import contextmanager
 from typing import Callable
 
+from repro import obs
 from repro.errors import (
     BudgetExceededError,
     CountingError,
@@ -138,9 +139,11 @@ class RunController:
             yield
         except (BudgetExceededError, RunInterrupted):
             self.save()
+            self.publish_metrics()
             raise
         else:
             self.save(complete=True)
+            self.publish_metrics()
 
     # ------------------------------------------------------------------
     # per-root cooperation points
@@ -203,6 +206,25 @@ class RunController:
         ):
             self.save()
 
+    def publish_metrics(self) -> None:
+        """Mirror the budget meter into runtime gauges.
+
+        Budget *state* stays on the controller (checkpoints serialize
+        it); the registry only observes it, so enabling metrics cannot
+        perturb budget decisions or resume identity.  Called at every
+        save point and at guard exit; ``tests/test_obs.py`` pins the
+        mirrored values to ``spent`` and to the engines' own
+        ``engine_nodes_visited_total``.
+        """
+        reg = obs.get_registry()
+        if not reg.enabled:
+            return
+        reg.gauge("runtime_nodes_spent").set(self.spent.nodes)
+        reg.gauge("runtime_roots_done").set(self.spent.roots_done)
+        reg.gauge("runtime_peak_memory_bytes").set(
+            self.spent.peak_memory_bytes
+        )
+
     # ------------------------------------------------------------------
     # state access
     # ------------------------------------------------------------------
@@ -235,6 +257,8 @@ class RunController:
             complete=complete,
         )
         self._since_save = 0
+        obs.checkpoint_write(complete=complete)
+        self.publish_metrics()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

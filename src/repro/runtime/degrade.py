@@ -34,6 +34,7 @@ import warnings
 
 import numpy as np
 
+from repro import obs
 from repro.errors import BudgetExceededError, DegradedResultWarning
 
 __all__ = ["degrade_to_sampling"]
@@ -91,6 +92,10 @@ def degrade_to_sampling(
         per_root_work[:next_root] = state.get("per_root_work", [])
         per_root_memory[:next_root] = state.get("per_root_memory", [])
     degraded_from = _join_degraded(state.get("degraded_from"), "exact")
+    obs.degradation(
+        "sampling", engine="sct", next_root=next_root,
+        cause=type(cause).__name__ if cause is not None else None,
+    )
 
     if k is not None:
         exact_total = int(state.get("total", 0))
