@@ -71,6 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help=".npz file to save (--forest build) or "
                               "load (--forest use) the forest")
 
+    def add_parallel(p: argparse.ArgumentParser) -> None:
+        grp = p.add_argument_group("process parallelism")
+        grp.add_argument("--processes", type=int, default=None,
+                         help="worker processes for the counting phase "
+                              "(>= 2 enables the shared-memory parallel "
+                              "runtime; default/1 = serial)")
+        grp.add_argument("--par-chunks", type=int, default=4,
+                         metavar="N",
+                         help="root chunks per process for the dynamic "
+                              "scheduler (default 4)")
+
     def add_resilience(p: argparse.ArgumentParser) -> None:
         grp = p.add_argument_group("resilience")
         grp.add_argument("--deadline", type=float, default=None,
@@ -109,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="modeled thread count")
     p_count.add_argument("--per-vertex", action="store_true",
                          help="also print the top-10 per-vertex counts")
+    add_parallel(p_count)
     add_forest(p_count)
     add_resilience(p_count)
 
@@ -119,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("bigint", "wordarray"), default="bigint",
         help="bitset-kernel backend for the counting hot path",
     )
+    add_parallel(p_dist)
     add_forest(p_dist)
     add_resilience(p_dist)
 
@@ -175,6 +188,8 @@ def _cmd_count(args) -> int:
         kernel=args.kernel,
         ordering=args.ordering,
         threads=args.threads,
+        processes=args.processes,
+        par_chunks=args.par_chunks,
         effective_num_vertices=eff,
         forest=args.forest,
         forest_path=args.forest_path,
@@ -246,6 +261,8 @@ def _cmd_dist(args) -> int:
     g, _ = _load_graph(args)
     cfg = PivotScaleConfig(kernel=args.kernel, forest=args.forest,
                            forest_path=args.forest_path,
+                           processes=args.processes,
+                           par_chunks=args.par_chunks,
                            **_resilience_kwargs(args))
     ctl = cfg.make_controller()
 
@@ -275,16 +292,27 @@ def _cmd_dist(args) -> int:
             _print_budget(ctl.spent_snapshot())
         return 0
 
+    procs = cfg.processes or 1
     engine = SCTEngine(g, core_ordering(g), kernel=args.kernel)
     try:
-        r = engine.count_all(max_k=args.max_k, controller=ctl)
+        if procs > 1:
+            from repro.parallel.pool import count_all_sizes_processes
+
+            r = count_all_sizes_processes(
+                g, engine.dag, max_k=args.max_k, processes=procs,
+                chunks_per_process=cfg.par_chunks, kernel=args.kernel,
+                controller=ctl, degrade=cfg.degrade,
+            )
+        else:
+            r = engine.count_all(max_k=args.max_k, controller=ctl)
     except BudgetExceededError as e:
         if ctl is None or not ctl.degrade:
             raise
         from repro.runtime.degrade import degrade_to_sampling
 
         r = degrade_to_sampling(
-            engine, k=None, max_k=args.max_k, state=ctl.state(), cause=e
+            engine, k=None, max_k=args.max_k,
+            state=ctl.state() if procs == 1 else None, cause=e,
         )
     print(f"graph: {g}")
     if r.approximate:

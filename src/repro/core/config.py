@@ -45,6 +45,17 @@ class PivotScaleConfig:
         ``"approx_core"``, ``"kcore"``, ``"centrality"``).
     threads:
         Modeled thread count for phase times (the paper uses 64).
+    processes:
+        Real worker-process count for the counting phase.  ``None``
+        (default) and ``1`` run serially in-process; ``>= 2`` routes
+        counting through the process-parallel runtime
+        (:mod:`repro.parallel.pool`) — exact, bit-identical counts,
+        shared-memory graphs, dynamic chunk scheduling.  Orthogonal to
+        ``threads``, which only drives the *modeled* phase times.
+    par_chunks:
+        Chunks per process for the parallel runtime's dynamic
+        scheduler (oversubscription factor; more, smaller chunks
+        improve load balance on skewed graphs).
     machine:
         Machine model for phase times.
     scheduler:
@@ -82,6 +93,8 @@ class PivotScaleConfig:
     kernel: str = "bigint"
     ordering: str | None = "heuristic"
     threads: int = 64
+    processes: int | None = None
+    par_chunks: int = 4
     machine: MachineSpec = EPYC_9554
     scheduler: Scheduler = field(default_factory=DynamicScheduler)
     heuristic: HeuristicConfig = field(default_factory=HeuristicConfig)
@@ -107,6 +120,10 @@ class PivotScaleConfig:
             raise CountingError(f"unknown ordering {self.ordering!r}")
         if self.threads < 1:
             raise ParallelModelError("threads must be >= 1")
+        if self.processes is not None and self.processes < 1:
+            raise ParallelModelError("processes must be >= 1")
+        if self.par_chunks < 1:
+            raise ParallelModelError("par_chunks must be >= 1")
         # Budget() validates the limits; build one eagerly so a bad
         # config fails at construction, not mid-run.
         self.budget = Budget(

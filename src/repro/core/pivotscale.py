@@ -81,21 +81,47 @@ def _run(
             g, dag, structure=config.structure, kernel=config.kernel
         )
         ctl = controller if controller is not None else config.make_controller()
+        procs = config.processes or 1
         wall0 = time.perf_counter()
         try:
-            counting = (
-                engine.count(k, controller=ctl)
-                if k is not None
-                else engine.count_all(max_k=max_k, controller=ctl)
-            )
+            if procs > 1:
+                from repro.parallel.pool import (
+                    count_all_sizes_processes,
+                    count_kcliques_processes,
+                )
+
+                counting = (
+                    count_kcliques_processes(
+                        g, k, dag, processes=procs,
+                        structure=config.structure, kernel=config.kernel,
+                        chunks_per_process=config.par_chunks,
+                        controller=ctl, degrade=config.degrade,
+                    )
+                    if k is not None
+                    else count_all_sizes_processes(
+                        g, dag, max_k=max_k, processes=procs,
+                        structure=config.structure, kernel=config.kernel,
+                        chunks_per_process=config.par_chunks,
+                        controller=ctl, degrade=config.degrade,
+                    )
+                )
+            else:
+                counting = (
+                    engine.count(k, controller=ctl)
+                    if k is not None
+                    else engine.count_all(max_k=max_k, controller=ctl)
+                )
         except BudgetExceededError as e:
             if ctl is None or not ctl.degrade:
                 raise
             # Bottom rung of the ladder: keep the exact per-root
             # progress, estimate the uncounted roots, flag the result
-            # approximate.
+            # approximate.  The parallel runtime checkpoints progress
+            # at chunk granularity in its own state format, so the
+            # sampling estimate falls back to the whole graph there.
             counting = degrade_to_sampling(
-                engine, k=k, max_k=max_k, state=ctl.state(), cause=e
+                engine, k=k, max_k=max_k,
+                state=ctl.state() if procs == 1 else None, cause=e,
             )
         wall = time.perf_counter() - wall0
 

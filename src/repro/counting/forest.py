@@ -81,6 +81,7 @@ __all__ = [
     "load_forest",
     "forest_cache_key",
     "clear_forest_cache",
+    "collect_root_leaves",
 ]
 
 FOREST_FORMAT_VERSION = 1
@@ -836,6 +837,18 @@ def _collect_root(
     ctr.set_op_words += acc[6] + acc[3] + acc[4]
     ctr.max_depth = max(ctr.max_depth, acc[5])
     return leaves
+
+
+def collect_root_leaves(
+    struct: SubgraphStructure, v: int, ctr: Counters, *,
+    record_members: bool = True,
+) -> list:
+    """Public per-root leaf collection — the parallel forest build's
+    worker task unit (see :mod:`repro.parallel.runtime`).  Same leaf
+    tuples and counter charging as the serial :meth:`SCTForest.build`
+    traversal, so leaves gathered by any worker in any order reassemble
+    into a bit-identical forest."""
+    return _collect_root(struct, v, ctr, record_members=record_members)
 
 
 # ----------------------------------------------------------------------

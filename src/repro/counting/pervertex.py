@@ -27,7 +27,7 @@ from repro.ordering.directionalize import directionalize
 from repro.runtime.checkpoint import graph_fingerprint
 from repro.runtime.controller import RunController
 
-__all__ = ["per_vertex_counts"]
+__all__ = ["per_vertex_counts", "attribute_root"]
 
 
 def per_vertex_counts(
@@ -87,6 +87,17 @@ def per_vertex_counts(
                 controller.note_memory(ctr.peak_subgraph_bytes)
                 controller.complete_root(v)
     return per
+
+
+def attribute_root(
+    struct, v: int, k: int, per: list[int], ctr: Counters
+) -> None:
+    """Public per-root attribution step — the parallel per-vertex
+    workers' task unit.  Adds root ``v``'s exact contribution to every
+    entry of ``per`` it touches, charging ``ctr`` exactly like the
+    serial loop, so chunked attributions folded in any order equal the
+    serial result."""
+    _root(struct, v, k, per, ctr)
 
 
 def _root(struct, v: int, k: int, per: list[int], ctr: Counters) -> None:

@@ -53,7 +53,13 @@ from repro.ordering.directionalize import directionalize
 from repro.runtime.checkpoint import graph_fingerprint
 from repro.runtime.controller import RunController
 
-__all__ = ["SCTEngine", "CountResult", "count_kcliques", "count_all_sizes"]
+__all__ = [
+    "SCTEngine",
+    "CountResult",
+    "RootBatchResult",
+    "count_kcliques",
+    "count_all_sizes",
+]
 
 
 @dataclass
@@ -111,6 +117,29 @@ class CountResult:
         if self.all_counts is None:
             raise CountingError("max_clique_size requires an all-k run")
         return len(self.all_counts) - 1
+
+
+@dataclass
+class RootBatchResult:
+    """Outcome of counting one batch of root vertices — the parallel
+    runtime's chunk result (see :meth:`SCTEngine.count_roots`).
+
+    ``per_root_work`` / ``per_root_memory`` are aligned with ``roots``
+    (entry ``i`` belongs to ``roots[i]``), not indexed by vertex id, so
+    a chunk result stays compact regardless of which roots it covers.
+    For target-k batches ``count`` holds the partial total and
+    ``all_counts`` is ``None``; for all-k batches ``all_counts`` is an
+    *untrimmed* row of the caller-specified length (parents fold rows
+    from many chunks and trim once at the end), and ``count`` is 0.
+    """
+
+    roots: list[int]
+    count: int
+    all_counts: list[int] | None
+    counters: Counters
+    per_root_work: list[float]
+    per_root_memory: list[float]
+    degraded_from: str | None = None
 
 
 class SCTEngine:
@@ -240,6 +269,125 @@ class SCTEngine:
         """Per-size clique counts rooted at ``v`` (all-k task unit)."""
         length, cap = self._allk_shape(max_k)
         return self._count_root_all(v, cap, length, Counters())
+
+    def count_roots(
+        self,
+        roots,
+        k: int | None = None,
+        *,
+        max_k: int | None = None,
+        controller: RunController | None = None,
+        early_termination: bool = True,
+    ) -> RootBatchResult:
+        """Count the cliques rooted at each vertex in ``roots`` — the
+        public batch entry point the parallel workers run per chunk.
+
+        Unlike the throwaway :meth:`count_root`, this path honors the
+        full per-root cooperation protocol: obs spans/metrics, budget
+        ticks, memory watermarks, and the kernel-fault degradation rung
+        (``wordarray`` → ``bigint`` mid-batch when ``controller.degrade``
+        is set).  ``k=None`` produces the all-k row (untrimmed, of the
+        :meth:`_allk_shape` length for ``max_k``) so chunk rows from
+        different workers fold elementwise.
+
+        An already-:meth:`~repro.runtime.RunController.begin`-started
+        controller is used as-is (the parent began the run; workers and
+        the fold loop just meter against it); a fresh controller is
+        begun here with a batch descriptor and no snapshot provider —
+        checkpointing a batch is the *caller's* job, since only the
+        caller knows how chunks map onto the whole run.
+        """
+        roots = [int(v) for v in roots]
+        if k is not None and k < 1:
+            raise CountingError(f"clique size k must be >= 1, got {k}")
+        n = self.graph.num_vertices
+        for v in roots:
+            if not 0 <= v < n:
+                raise CountingError(f"root vertex {v} out of range [0, {n})")
+        ctl = controller
+        totals = Counters()
+        per_root_work: list[float] = []
+        per_root_memory: list[float] = []
+        all_counts: list[int] | None = None
+        length = cap = 0
+        if k is None:
+            length, cap = self._allk_shape(max_k)
+            all_counts = [0] * length
+        total = 0
+        done = 0
+        degraded_from: str | None = None
+
+        if ctl is not None and not ctl.started:
+            ctl.begin(self._descriptor(k, max_k) | {"batch": True})
+
+        def run_root(v: int) -> tuple[Counters, int, list[int] | None]:
+            ctr = Counters()
+            if k is None:
+                return ctr, 0, self._count_root_all(v, cap, length, ctr)
+            return ctr, self._count_root_k(v, k, ctr, early_termination), None
+
+        try:
+            with obs.span(
+                "sct.count_roots",
+                roots=len(roots),
+                **self._span_attrs(k, max_k),
+            ), obs.phase("counting"):
+                for v in roots:
+                    if ctl is None:
+                        ctr, delta, local = run_root(v)
+                    else:
+                        try:
+                            ctl.tick()
+                            ctr, delta, local = run_root(v)
+                        except MemoryError as exc:
+                            raise MemoryBudgetExceededError(
+                                f"allocation failure at root {v}",
+                                spent=ctl.spent_snapshot(),
+                            ) from exc
+                        except KernelFaultError:
+                            if (
+                                not ctl.degrade
+                                or self.kernel.name == "bigint"
+                            ):
+                                raise
+                            fallen = self._fallback_to_bigint()
+                            obs.degradation(
+                                "kernel_fallback", engine="sct", root=v,
+                                from_kernel=fallen,
+                            )
+                            if degraded_from is None:
+                                degraded_from = fallen
+                            ctr, delta, local = run_root(v)
+                        ctl.charge_nodes(ctr.function_calls)
+                        ctl.note_memory(ctr.peak_subgraph_bytes)
+                    if local is not None:
+                        for s in range(length):
+                            if local[s]:
+                                all_counts[s] += local[s]
+                    else:
+                        total += delta
+                    per_root_work.append(ctr.work)
+                    per_root_memory.append(float(ctr.peak_subgraph_bytes))
+                    totals.merge(ctr)
+                    obs.note_memory(ctr.peak_subgraph_bytes)
+                    done += 1
+                    if ctl is not None:
+                        ctl.complete_root(v)
+        finally:
+            obs.record_run(
+                totals, engine="sct", structure=self.structure.name,
+                kernel=self.kernel.name, roots=done,
+            )
+
+        return RootBatchResult(
+            roots=roots,
+            count=total,
+            all_counts=all_counts,
+            counters=totals,
+            per_root_work=per_root_work,
+            per_root_memory=per_root_memory,
+            degraded_from=degraded_from,
+        )
 
     # ------------------------------------------------------------------
     # driver

@@ -30,6 +30,7 @@ __all__ = [
     "CheckpointError",
     "KernelFaultError",
     "RunInterrupted",
+    "WorkerCrashError",
     "DegradedResultWarning",
 ]
 
@@ -117,6 +118,19 @@ class RunInterrupted(ReproError):
 
     When checkpointing is enabled the controller saves its state before
     this propagates, so the run can be resumed deterministically.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A parallel worker process failed while counting a chunk.
+
+    The worker-side error is carried in the message (workers report
+    failures as data rather than raising through the pool, so the
+    parent knows *which* chunk died).  With degradation enabled the
+    parallel runtime re-runs the failed chunk in-process on the
+    ``bigint`` reference backend instead of raising — the result stays
+    exact and is flagged via ``degraded_from`` (see
+    :mod:`repro.parallel.runtime`).
     """
 
 

@@ -265,6 +265,38 @@ class MetricsRegistry:
         self.counter("engine_runs_total", **labels).inc()
         self.counter("engine_work_units_total", **labels).inc(d["work"])
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold an :meth:`as_dict` snapshot from another registry into
+        this one — the parallel runtime's metrics bridge.
+
+        Worker processes record into their own per-task registries and
+        ship ``as_dict()`` back with each chunk result; the parent
+        merges them here so ``engine_*``/``kernel_*`` counter totals
+        stay exact under parallelism.  Counters add, gauges keep the
+        max (every mergeable gauge in the catalog is a peak), and
+        histograms fold count/sum/min/max and bucket tallies.  No-op
+        when this registry is disabled.
+        """
+        if not self.enabled:
+            return
+        for entry in snap.get("counters", ()):
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snap.get("gauges", ()):
+            self.gauge(entry["name"], **entry["labels"]).max(entry["value"])
+        for entry in snap.get("histograms", ()):
+            h = self.histogram(entry["name"], **entry["labels"])
+            h.count += entry["count"]
+            h.sum += entry["sum"]
+            if entry["min"] is not None:
+                if h.min is None or entry["min"] < h.min:
+                    h.min = entry["min"]
+            if entry["max"] is not None:
+                if h.max is None or entry["max"] > h.max:
+                    h.max = entry["max"]
+            for b, n in entry.get("buckets", {}).items():
+                b = int(b)
+                h.buckets[b] = h.buckets.get(b, 0) + n
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------

@@ -32,7 +32,19 @@ from repro.parallel.simulate import (
     simulate_ordering,
     scaling_curve,
 )
-from repro.parallel.pool import count_kcliques_processes
+from repro.parallel.pool import (
+    build_forest_processes,
+    count_all_sizes_processes,
+    count_kcliques_processes,
+    per_vertex_counts_processes,
+)
+from repro.parallel.runtime import ParallelRuntime, plan_chunks
+from repro.parallel.shm import (
+    SharedGraphPair,
+    SharedGraphSpec,
+    attach_graph_pair,
+    publish_graph_pair,
+)
 
 __all__ = [
     "MachineSpec",
@@ -50,4 +62,13 @@ __all__ = [
     "simulate_ordering",
     "scaling_curve",
     "count_kcliques_processes",
+    "count_all_sizes_processes",
+    "per_vertex_counts_processes",
+    "build_forest_processes",
+    "ParallelRuntime",
+    "plan_chunks",
+    "SharedGraphPair",
+    "SharedGraphSpec",
+    "publish_graph_pair",
+    "attach_graph_pair",
 ]

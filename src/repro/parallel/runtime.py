@@ -1,0 +1,831 @@
+"""The process-parallel runtime: shared graphs, dynamic scheduling,
+budget/checkpoint/metrics integration.
+
+This is the real (non-simulated) execution backend behind
+:func:`repro.parallel.pool.count_kcliques_processes` and friends.  It
+reproduces, in ``multiprocessing`` terms, what the paper's OpenMP
+``schedule(dynamic)`` loop over Algorithm 1 line 4 does on the 64-core
+EPYC:
+
+* **Shared graphs.**  The CSR graph and DAG arrays are published once
+  via :mod:`repro.parallel.shm` and attached zero-copy by every worker
+  — under both ``fork`` and ``spawn`` — instead of being pickled per
+  worker as the old pool did.
+* **Size-aware dynamic scheduling.**  :func:`plan_chunks` orders roots
+  by descending out-degree and packs them into
+  ``processes x chunks_per_process`` chunks by a guided
+  self-scheduling rule over the ``d² + d + 1`` per-root cost proxy:
+  heavy roots land in small early chunks, the light tail in large late
+  ones.  Chunks stream through ``imap_unordered(..., chunksize=1)`` so
+  whichever worker frees up first takes the next chunk and stragglers
+  never serialize the tail.
+* **Subsystem integration.**  A :class:`~repro.runtime.RunController`
+  is honored at *chunk* granularity: deadline/node/memory budgets are
+  metered as each chunk's result folds in (a chunk is all-in or
+  not-at-all, exactly like the serial engines' roots), checkpoints
+  record completed-chunk partial sums and resume bit-identically, and
+  worker metrics registries are snapshotted per task and merged into
+  the parent (:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`)
+  so ``engine_*``/``kernel_*`` counter totals stay exact.
+* **Worker-crash degradation.**  Workers report failures as data
+  (never as a raised exception through the pool), so the parent knows
+  which chunk died.  With degradation enabled the failed chunk re-runs
+  in-process on the ``bigint`` reference backend — the result stays
+  exact, flagged ``degraded_from="worker"``; without it a
+  :class:`~repro.errors.WorkerCrashError` propagates.
+
+Counts are bit-identical to the serial engines by construction: the
+SCT total is a sum over roots, chunk results are exact partial sums
+over disjoint root sets, and integer folds are order-independent.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager, nullcontext
+from multiprocessing import get_all_start_methods, get_context
+
+import numpy as np
+
+from repro import obs
+from repro.counting.counters import Counters
+from repro.errors import (
+    CheckpointError,
+    CountingError,
+    ParallelModelError,
+    WorkerCrashError,
+)
+from repro.graph.csr import CSRGraph
+from repro.kernels import KERNELS
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.shm import attach_graph_pair, publish_graph_pair
+from repro.runtime.checkpoint import array_fingerprint, graph_fingerprint
+from repro.runtime.controller import RunController
+
+__all__ = [
+    "ParallelRuntime",
+    "plan_chunks",
+    "parallel_count",
+    "parallel_per_vertex",
+    "parallel_build_forest",
+]
+
+
+# ----------------------------------------------------------------------
+# chunk planning (degree-descending guided self-scheduling)
+# ----------------------------------------------------------------------
+def plan_chunks(
+    degrees: np.ndarray, processes: int, chunks_per_process: int = 4
+) -> list[np.ndarray]:
+    """Partition root vertices into size-aware chunks.
+
+    Roots are sorted by descending DAG out-degree (stable, so ties keep
+    vertex order) and packed greedily against the ``d² + d + 1`` cost
+    proxy — an upper-bound shape for per-root pivot work (subgraph
+    build is O(d²) words, the recursion grows with d).  Each chunk
+    takes roots until it reaches its share of the *remaining* weight
+    (guided self-scheduling), so the heavy head of the degree
+    distribution is spread thinly across early chunks while the light
+    tail batches up.  Every chunk is non-empty and every root appears
+    exactly once.
+    """
+    if processes < 1:
+        raise ParallelModelError("processes must be >= 1")
+    if chunks_per_process < 1:
+        raise ParallelModelError("chunks_per_process must be >= 1")
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = int(degrees.size)
+    if n == 0:
+        return []
+    order = np.argsort(-degrees, kind="stable").astype(np.int64)
+    w = degrees[order].astype(np.float64)
+    w = w * w + w + 1.0
+    num_chunks = min(n, processes * chunks_per_process)
+    remaining = float(w.sum())
+    chunks: list[np.ndarray] = []
+    pos = 0
+    for i in range(num_chunks):
+        rc = num_chunks - i
+        rem = n - pos
+        max_take = rem - (rc - 1)  # leave >= 1 root per later chunk
+        target = remaining / rc
+        acc = 0.0
+        take = 0
+        while take < max_take and (take == 0 or acc < target):
+            acc += w[pos + take]
+            take += 1
+        chunks.append(order[pos:pos + take])
+        pos += take
+        remaining -= acc
+    if pos < n:  # float-sum guard: sweep any leftover into the last chunk
+        chunks[-1] = np.concatenate([chunks[-1], order[pos:]])
+    return chunks
+
+
+def _chunk_plan_fingerprint(chunks: list[np.ndarray]) -> str:
+    """Identity of a chunk plan — resuming a parallel checkpoint
+    against a different plan (other process/chunk counts) would mix
+    partial sums over different root sets."""
+    if not chunks:
+        return "empty"
+    lengths = np.asarray([c.size for c in chunks], dtype=np.int64)
+    return array_fingerprint(np.concatenate([lengths, *chunks]))
+
+
+def _kernel_name(kernel) -> str:
+    if kernel is None:
+        return "bigint"
+    if isinstance(kernel, str):
+        if kernel not in KERNELS:
+            raise CountingError(
+                f"unknown kernel {kernel!r}; expected one of {sorted(KERNELS)}"
+            )
+        return kernel
+    return kernel.name
+
+
+def _allk_length(dag: CSRGraph, max_k: int | None) -> int:
+    """Length of the all-k counts row (mirrors ``SCTEngine._allk_shape``
+    so parent fold rows and worker chunk rows line up elementwise)."""
+    size_cap = dag.max_degree + 2
+    if max_k is not None:
+        size_cap = min(size_cap, max_k + 1)
+    return max(size_cap, 2)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+# Per-process caches, keyed by shared-segment name: attachments keep the
+# mapped segment alive (the graphs are views over its buffer), engines
+# amortize structure construction across the tasks of one run.  Evicted
+# entries are merely dropped — the mapping is released when the last
+# array referencing it is collected.
+_ATTACHED: "OrderedDict[str, tuple]" = OrderedDict()
+_ENGINES: "OrderedDict[tuple, object]" = OrderedDict()
+_WORKER_CACHE_MAX = 4
+
+
+def _attach(spec) -> tuple[CSRGraph, CSRGraph]:
+    entry = _ATTACHED.get(spec.name)
+    if entry is None:
+        graph, dag, shm = attach_graph_pair(spec)
+        _ATTACHED[spec.name] = entry = (graph, dag, shm)
+        while len(_ATTACHED) > _WORKER_CACHE_MAX:
+            stale, _ = _ATTACHED.popitem(last=False)
+            for key in [key for key in _ENGINES if key[0] == stale]:
+                del _ENGINES[key]
+    else:
+        _ATTACHED.move_to_end(spec.name)
+    return entry[0], entry[1]
+
+
+def _cached_engine(task: dict, graph: CSRGraph, dag: CSRGraph):
+    from repro.counting.sct import SCTEngine
+
+    key = (task["spec"].name, task["structure"], task["kernel"] or "bigint")
+    engine = _ENGINES.get(key)
+    if engine is None:
+        engine = SCTEngine(
+            graph, dag, task["structure"], kernel=task["kernel"]
+        )
+        _ENGINES[key] = engine
+        while len(_ENGINES) > _WORKER_CACHE_MAX:
+            _ENGINES.popitem(last=False)
+    else:
+        _ENGINES.move_to_end(key)
+    return engine
+
+
+def _execute_mode(task: dict, engine, graph: CSRGraph) -> dict:
+    mode = task["mode"]
+    roots = task["roots"]
+    if mode == "count":
+        res = engine.count_roots(roots, task["k"])
+        return {
+            "count": res.count,
+            "counters": res.counters.as_dict(),
+            "per_root_work": res.per_root_work,
+            "per_root_memory": res.per_root_memory,
+        }
+    if mode == "allk":
+        res = engine.count_roots(roots, None, max_k=task["max_k"])
+        return {
+            "all_counts": res.all_counts,
+            "counters": res.counters.as_dict(),
+            "per_root_work": res.per_root_work,
+            "per_root_memory": res.per_root_memory,
+        }
+    if mode == "pervertex":
+        from repro.counting.pervertex import attribute_root
+
+        per = [0] * graph.num_vertices
+        ctr = Counters()
+        for v in roots:
+            attribute_root(engine.structure, v, task["k"], per, ctr)
+        return {
+            "per": {i: c for i, c in enumerate(per) if c},
+            "counters": ctr.as_dict(),
+        }
+    if mode == "forest":
+        from repro.counting.forest import collect_root_leaves
+
+        leaves_per_root = []
+        counters_per_root = []
+        chunk_totals = Counters()
+        for v in roots:
+            ctr = Counters()
+            leaves = collect_root_leaves(
+                engine.structure, v, ctr, record_members=task["members"]
+            )
+            leaves_per_root.append(leaves)
+            counters_per_root.append(ctr.as_dict())
+            chunk_totals.merge(ctr)
+        obs.record_run(
+            chunk_totals, engine="sct-forest",
+            structure=engine.structure.name, kernel=engine.kernel.name,
+            roots=len(roots),
+        )
+        return {"leaves": leaves_per_root, "counters": counters_per_root}
+    raise ParallelModelError(f"unknown worker mode {mode!r}")
+
+
+def _run_chunk_impl(task: dict) -> dict:
+    if task.get("crash"):
+        raise WorkerCrashError(
+            f"injected worker fault in chunk {task['chunk_id']}"
+        )
+    graph, dag = _attach(task["spec"])
+    metrics = bool(task.get("metrics"))
+    prev_reg = None
+    if metrics:
+        # A fresh enabled registry per task: kernel instrumentation
+        # binds counter objects at engine-construction time, so the
+        # engine must be built under the registry it reports to.
+        prev_reg = obs.set_registry(MetricsRegistry(enabled=True))
+    try:
+        if metrics:
+            from repro.counting.sct import SCTEngine
+
+            engine = SCTEngine(
+                graph, dag, task["structure"], kernel=task["kernel"]
+            )
+        else:
+            engine = _cached_engine(task, graph, dag)
+        payload = _execute_mode(task, engine, graph)
+        if metrics:
+            payload["metrics"] = obs.get_registry().as_dict()
+        payload["ok"] = True
+        return payload
+    finally:
+        if prev_reg is not None:
+            obs.set_registry(prev_reg)
+
+
+def _run_chunk(task: dict) -> tuple[int, dict]:
+    """The pool task function.  Failures come back as data — raising
+    through ``imap_unordered`` would tell the parent *that* something
+    died but not *which chunk*, and would poison the result stream."""
+    chunk_id = task["chunk_id"]
+    try:
+        return chunk_id, _run_chunk_impl(task)
+    except Exception as exc:  # noqa: BLE001 - errors cross as data
+        return chunk_id, {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+# ----------------------------------------------------------------------
+# the runtime (pool lifecycle + task streaming)
+# ----------------------------------------------------------------------
+class ParallelRuntime:
+    """A reusable worker pool for the parallel counting entry points.
+
+    The pool is created lazily on first use and reused across runs and
+    across graphs (workers cache shared-memory attachments per
+    segment), which matters on the ``spawn`` start method where worker
+    startup costs a fresh interpreter.  Pass an instance via the
+    ``runtime=`` keyword of the :mod:`repro.parallel.pool` functions to
+    amortize it; otherwise each call builds and tears down its own.
+
+    Parameters
+    ----------
+    processes:
+        Worker count; defaults to ``os.cpu_count()``.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; defaults to
+        ``fork`` where available (cheap workers), else ``spawn``.
+    """
+
+    def __init__(
+        self, processes: int | None = None, *, start_method: str | None = None
+    ) -> None:
+        if processes is not None and processes < 1:
+            raise ParallelModelError("processes must be >= 1")
+        self.processes = processes or os.cpu_count() or 1
+        methods = get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else "spawn"
+        elif start_method not in methods:
+            raise ParallelModelError(
+                f"start method {start_method!r} unavailable on this "
+                f"platform; have {methods}"
+            )
+        self.start_method = start_method
+        self._ctx = get_context(start_method)
+        self._pool = None
+
+    @property
+    def pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.processes)
+        return self._pool
+
+    def map_chunks(self, tasks: list[dict]):
+        """Stream ``(chunk_id, payload)`` results as workers finish.
+
+        ``chunksize=1`` is load-bearing: the default ``pool.map``
+        heuristic re-batches consecutive tasks into contiguous blocks,
+        which would undo the oversubscribed chunk plan and hand one
+        worker the whole heavy head of the degree distribution.  One
+        task per dispatch keeps scheduling dynamic.
+        """
+        return self.pool.imap_unordered(_run_chunk, tasks, chunksize=1)
+
+    def close(self) -> None:
+        """Tear the pool down (terminate, like ``Pool.__exit__``)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@contextmanager
+def _pool_for(
+    runtime: ParallelRuntime | None, processes: int, start_method: str | None
+):
+    """Borrow the caller's runtime, or own a throwaway one."""
+    if runtime is not None:
+        yield runtime
+    else:
+        with ParallelRuntime(processes, start_method=start_method) as rt:
+            yield rt
+
+
+def _build_tasks(
+    chunks: list[np.ndarray],
+    pending: list[int],
+    spec,
+    *,
+    mode: str,
+    structure: str,
+    kernel_name: str | None,
+    metrics: bool,
+    fault_chunks,
+    **extra,
+) -> list[dict]:
+    fault_chunks = frozenset(fault_chunks)
+    tasks = []
+    for cid in pending:
+        task = {
+            "chunk_id": cid,
+            "roots": [int(v) for v in chunks[cid]],
+            "spec": spec,
+            "mode": mode,
+            "structure": structure,
+            "kernel": kernel_name,
+            "metrics": metrics,
+        }
+        if cid in fault_chunks:
+            task["crash"] = True
+        task.update(extra)
+        tasks.append(task)
+    return tasks
+
+
+def _retry_in_process(
+    graph: CSRGraph, dag: CSRGraph, task: dict, error: str
+) -> dict:
+    """The worker-crash degradation rung: re-run the failed chunk in
+    the parent on the ``bigint`` reference backend.  Counts and
+    counters are backend-invariant, so the folded result stays exact —
+    only ``degraded_from`` records that a worker died."""
+    from repro.counting.sct import SCTEngine
+
+    obs.degradation(
+        "worker_retry", engine="sct-parallel",
+        chunk=task["chunk_id"], error=error,
+    )
+    retry = dict(task, kernel="bigint", metrics=False)
+    retry.pop("crash", None)
+    engine = SCTEngine(graph, dag, retry["structure"], kernel="bigint")
+    payload = _execute_mode(retry, engine, graph)
+    payload["ok"] = True
+    payload["degraded"] = True
+    return payload
+
+
+# ----------------------------------------------------------------------
+# parent-side drivers
+# ----------------------------------------------------------------------
+def parallel_count(
+    graph: CSRGraph,
+    dag: CSRGraph,
+    *,
+    k: int | None,
+    max_k: int | None = None,
+    structure: str = "remap",
+    kernel=None,
+    processes: int,
+    chunks_per_process: int = 4,
+    controller: RunController | None = None,
+    collect_metrics: bool | None = None,
+    degrade: bool = False,
+    runtime: ParallelRuntime | None = None,
+    start_method: str | None = None,
+    fault_chunks=(),
+):
+    """Multi-process exact counting (target-k when ``k`` is set, all-k
+    otherwise).  Returns a full
+    :class:`~repro.counting.sct.CountResult`, like the serial engines.
+
+    ``collect_metrics=None`` (default) follows the parent registry:
+    when metrics are enabled, workers snapshot their per-task
+    registries and the parent merges them, keeping counter totals
+    exact; when disabled, workers skip collection entirely.
+    """
+    from repro.counting.sct import CountResult
+
+    n = graph.num_vertices
+    kernel_name = _kernel_name(kernel)
+    chunks = plan_chunks(dag.degrees, processes, chunks_per_process)
+    num_chunks = len(chunks)
+    length = 0
+    all_counts: list[int] | None = None
+    if k is None:
+        length = _allk_length(dag, max_k)
+        all_counts = [0] * length
+    totals = Counters()
+    per_root_work = np.zeros(n, dtype=np.float64)
+    per_root_memory = np.zeros(n, dtype=np.float64)
+    total = 0
+    done: set[int] = set()
+    degraded_from: str | None = None
+    ctl = controller
+    merge_metrics = (
+        obs.get_registry().enabled
+        if collect_metrics is None
+        else bool(collect_metrics)
+    )
+    allow_degrade = degrade or (ctl is not None and ctl.degrade)
+
+    if ctl is not None:
+        def snapshot() -> dict:
+            return {
+                "done_chunks": sorted(done),
+                "total": total,
+                "all_counts": None if all_counts is None else list(all_counts),
+                "counters": totals.as_dict(),
+                "per_root_work": per_root_work.tolist(),
+                "per_root_memory": per_root_memory.tolist(),
+                "degraded_from": degraded_from,
+            }
+
+        descriptor = {
+            "engine": "sct-parallel",
+            "k": k,
+            "max_k": max_k,
+            "structure": structure,
+            "kernel": kernel_name,
+            "graph_fingerprint": graph_fingerprint(graph),
+            "dag_fingerprint": graph_fingerprint(dag),
+            "num_chunks": num_chunks,
+            "chunk_plan": _chunk_plan_fingerprint(chunks),
+        }
+        state = ctl.begin(descriptor, snapshot)
+        if state is not None:
+            done = {int(c) for c in state["done_chunks"]}
+            total = int(state["total"])
+            if all_counts is not None:
+                stored = state.get("all_counts")
+                if stored is None or len(stored) != length:
+                    raise CheckpointError(
+                        "checkpoint all_counts row does not match this "
+                        "run's clique-size cap"
+                    )
+                all_counts = [int(c) for c in stored]
+            totals = Counters.from_dict(state["counters"])
+            per_root_work[:] = state["per_root_work"]
+            per_root_memory[:] = state["per_root_memory"]
+            degraded_from = state.get("degraded_from")
+
+    pending = [c for c in range(num_chunks) if c not in done]
+    mode = "count" if k is not None else "allk"
+    with obs.span(
+        "parallel.count" if k is not None else "parallel.count_all",
+        engine="sct-parallel", processes=processes, chunks=num_chunks,
+        structure=structure, kernel=kernel_name,
+    ), obs.phase("counting"), (
+        ctl.guard() if ctl is not None else nullcontext()
+    ):
+        if pending:
+            with publish_graph_pair(graph, dag) as shared, _pool_for(
+                runtime, processes, start_method
+            ) as rt:
+                tasks = _build_tasks(
+                    chunks, pending, shared.spec, mode=mode,
+                    structure=structure, kernel_name=kernel_name,
+                    metrics=merge_metrics, fault_chunks=fault_chunks,
+                    k=k, max_k=max_k, members=True,
+                )
+                for chunk_id, payload in rt.map_chunks(tasks):
+                    if ctl is not None:
+                        ctl.tick()
+                    if not payload.get("ok"):
+                        if not allow_degrade:
+                            raise WorkerCrashError(
+                                f"chunk {chunk_id} failed in a worker: "
+                                f"{payload.get('error')}"
+                            )
+                        payload = _retry_in_process(
+                            graph, dag, tasks[pending.index(chunk_id)],
+                            payload.get("error", ""),
+                        )
+                    ctr = Counters.from_dict(payload["counters"])
+                    if ctl is not None:
+                        # Meter BEFORE folding: a chunk is all-in or
+                        # not-at-all, so checkpoints stay consistent.
+                        ctl.charge_nodes(ctr.function_calls)
+                        ctl.note_memory(ctr.peak_subgraph_bytes)
+                    roots_arr = chunks[chunk_id]
+                    if all_counts is not None:
+                        row = payload["all_counts"]
+                        for s in range(length):
+                            if row[s]:
+                                all_counts[s] += row[s]
+                    else:
+                        total += payload["count"]
+                    per_root_work[roots_arr] = payload["per_root_work"]
+                    per_root_memory[roots_arr] = payload["per_root_memory"]
+                    totals.merge(ctr)
+                    obs.note_memory(ctr.peak_subgraph_bytes)
+                    if payload.get("degraded") and degraded_from is None:
+                        degraded_from = "worker"
+                    if merge_metrics and payload.get("metrics"):
+                        obs.get_registry().merge_snapshot(payload["metrics"])
+                    done.add(chunk_id)
+                    if ctl is not None:
+                        ctl.complete_roots(len(roots_arr))
+
+    if all_counts is not None:
+        while len(all_counts) > 1 and all_counts[-1] == 0:
+            all_counts.pop()
+    return CountResult(
+        count=None if k is None else total,
+        all_counts=all_counts,
+        k=k,
+        counters=totals,
+        per_root_work=per_root_work,
+        per_root_memory=per_root_memory,
+        structure=structure,
+        kernel=kernel_name,
+        degraded_from=degraded_from,
+    )
+
+
+def parallel_per_vertex(
+    graph: CSRGraph,
+    dag: CSRGraph,
+    *,
+    k: int,
+    structure: str = "remap",
+    kernel=None,
+    processes: int,
+    chunks_per_process: int = 4,
+    controller: RunController | None = None,
+    collect_metrics: bool | None = None,
+    degrade: bool = False,
+    runtime: ParallelRuntime | None = None,
+    start_method: str | None = None,
+    fault_chunks=(),
+) -> list[int]:
+    """Multi-process per-vertex k-clique counts (exact ints).
+
+    Mirrors the serial :func:`repro.counting.pervertex.per_vertex_counts`
+    contract: budgets at task granularity, no checkpoint state (a
+    budget abort discards the run).
+    """
+    n = graph.num_vertices
+    kernel_name = _kernel_name(kernel)
+    chunks = plan_chunks(dag.degrees, processes, chunks_per_process)
+    per: list[int] = [0] * n
+    ctl = controller
+    merge_metrics = (
+        obs.get_registry().enabled
+        if collect_metrics is None
+        else bool(collect_metrics)
+    )
+    allow_degrade = degrade or (ctl is not None and ctl.degrade)
+    if ctl is not None:
+        ctl.begin({
+            "engine": "per-vertex-parallel",
+            "k": k,
+            "structure": structure,
+            "kernel": kernel_name,
+            "graph": graph_fingerprint(graph),
+        })
+    with obs.span(
+        "parallel.per_vertex", engine="per-vertex-parallel",
+        processes=processes, chunks=len(chunks), structure=structure,
+        kernel=kernel_name,
+    ), obs.phase("counting"), (
+        ctl.guard() if ctl is not None else nullcontext()
+    ):
+        if chunks:
+            with publish_graph_pair(graph, dag) as shared, _pool_for(
+                runtime, processes, start_method
+            ) as rt:
+                tasks = _build_tasks(
+                    chunks, list(range(len(chunks))), shared.spec,
+                    mode="pervertex", structure=structure,
+                    kernel_name=kernel_name, metrics=merge_metrics,
+                    fault_chunks=fault_chunks, k=k,
+                )
+                for chunk_id, payload in rt.map_chunks(tasks):
+                    if ctl is not None:
+                        ctl.tick()
+                    if not payload.get("ok"):
+                        if not allow_degrade:
+                            raise WorkerCrashError(
+                                f"chunk {chunk_id} failed in a worker: "
+                                f"{payload.get('error')}"
+                            )
+                        payload = _retry_in_process(
+                            graph, dag, tasks[chunk_id],
+                            payload.get("error", ""),
+                        )
+                    ctr = Counters.from_dict(payload["counters"])
+                    if ctl is not None:
+                        ctl.charge_nodes(ctr.function_calls)
+                        ctl.note_memory(ctr.peak_subgraph_bytes)
+                    for v, c in payload["per"].items():
+                        per[int(v)] += c
+                    if merge_metrics and payload.get("metrics"):
+                        obs.get_registry().merge_snapshot(payload["metrics"])
+                    if ctl is not None:
+                        ctl.complete_roots(len(chunks[chunk_id]))
+    return per
+
+
+def parallel_build_forest(
+    graph: CSRGraph,
+    dag: CSRGraph,
+    *,
+    structure: str = "remap",
+    kernel=None,
+    processes: int,
+    chunks_per_process: int = 4,
+    members: bool = True,
+    controller: RunController | None = None,
+    collect_metrics: bool | None = None,
+    degrade: bool = False,
+    runtime: ParallelRuntime | None = None,
+    start_method: str | None = None,
+    fault_chunks=(),
+):
+    """Multi-process :class:`~repro.counting.forest.SCTForest` build.
+
+    Workers traverse disjoint root sets and ship their leaves back;
+    the parent reassembles them in root order (and, within each root,
+    in recursion order), so the materialized arrays — and every query
+    served from them — are bit-identical to a serial build.  Budgets
+    are metered per chunk; the parallel build has no checkpoint state
+    and no member-spill rung (use the serial build under a memory
+    watermark when spilling matters).
+    """
+    from repro.counting.forest import SCTForest
+
+    n = graph.num_vertices
+    kernel_name = _kernel_name(kernel)
+    chunks = plan_chunks(dag.degrees, processes, chunks_per_process)
+    leaves_by_root: dict[int, list] = {}
+    counters_by_root: dict[int, dict] = {}
+    per_root_work = np.zeros(n, dtype=np.float64)
+    per_root_memory = np.zeros(n, dtype=np.float64)
+    degraded_from: str | None = None
+    ctl = controller
+    merge_metrics = (
+        obs.get_registry().enabled
+        if collect_metrics is None
+        else bool(collect_metrics)
+    )
+    allow_degrade = degrade or (ctl is not None and ctl.degrade)
+    descriptor = {
+        "engine": "sct-forest",
+        "structure": structure,
+        "kernel": kernel_name,
+        "members": bool(members),
+        "graph_fingerprint": graph_fingerprint(graph),
+        "dag_fingerprint": graph_fingerprint(dag),
+    }
+    if ctl is not None:
+        ctl.begin(dict(descriptor, parallel=processes))
+    with obs.span(
+        "parallel.forest_build", engine="sct-forest", processes=processes,
+        chunks=len(chunks), structure=structure, kernel=kernel_name,
+    ), obs.phase("forest_build"), (
+        ctl.guard() if ctl is not None else nullcontext()
+    ):
+        if chunks:
+            with publish_graph_pair(graph, dag) as shared, _pool_for(
+                runtime, processes, start_method
+            ) as rt:
+                tasks = _build_tasks(
+                    chunks, list(range(len(chunks))), shared.spec,
+                    mode="forest", structure=structure,
+                    kernel_name=kernel_name, metrics=merge_metrics,
+                    fault_chunks=fault_chunks, members=bool(members),
+                )
+                for chunk_id, payload in rt.map_chunks(tasks):
+                    if ctl is not None:
+                        ctl.tick()
+                    if not payload.get("ok"):
+                        if not allow_degrade:
+                            raise WorkerCrashError(
+                                f"chunk {chunk_id} failed in a worker: "
+                                f"{payload.get('error')}"
+                            )
+                        payload = _retry_in_process(
+                            graph, dag, tasks[chunk_id],
+                            payload.get("error", ""),
+                        )
+                        if degraded_from is None:
+                            degraded_from = "worker"
+                    roots_arr = chunks[chunk_id]
+                    chunk_ctr = Counters()
+                    for v, leaves, ctr_d in zip(
+                        roots_arr, payload["leaves"], payload["counters"]
+                    ):
+                        v = int(v)
+                        leaves_by_root[v] = leaves
+                        counters_by_root[v] = ctr_d
+                        ctr = Counters.from_dict(ctr_d)
+                        per_root_work[v] = ctr.work
+                        per_root_memory[v] = ctr.peak_subgraph_bytes
+                        chunk_ctr.merge(ctr)
+                    if ctl is not None:
+                        ctl.charge_nodes(chunk_ctr.function_calls)
+                        ctl.note_memory(chunk_ctr.peak_subgraph_bytes)
+                        ctl.complete_roots(len(roots_arr))
+                    obs.note_memory(chunk_ctr.peak_subgraph_bytes)
+                    if merge_metrics and payload.get("metrics"):
+                        obs.get_registry().merge_snapshot(payload["metrics"])
+
+    # Reassemble in root order: chunk completion order is
+    # nondeterministic, but leaves are keyed by root and each root's
+    # leaves arrive in recursion order, so this loop reproduces the
+    # serial build's append order exactly.
+    held_n: list[int] = []
+    pivot_n: list[int] = []
+    leaf_roots: list[int] = []
+    held_members: list[int] | None = [] if members else None
+    pivot_members: list[int] | None = [] if members else None
+    totals = Counters()
+    for v in range(n):
+        for h_count, p_count, h_ids, p_ids in leaves_by_root.get(v, ()):
+            held_n.append(h_count)
+            pivot_n.append(p_count)
+            leaf_roots.append(v)
+            if held_members is not None and h_ids is not None:
+                held_members.extend(h_ids)
+                pivot_members.extend(p_ids)
+        totals.merge(Counters.from_dict(counters_by_root[v]))
+
+    reg = obs.get_registry()
+    if reg.enabled:
+        reg.gauge("forest_leaves").set(len(held_n))
+
+    return SCTForest(
+        num_vertices=n,
+        held_n=np.asarray(held_n, dtype=np.int32),
+        pivot_n=np.asarray(pivot_n, dtype=np.int32),
+        roots=np.asarray(leaf_roots, dtype=np.int32),
+        held_members=(
+            None if held_members is None
+            else np.asarray(held_members, dtype=np.int32)
+        ),
+        pivot_members=(
+            None if pivot_members is None
+            else np.asarray(pivot_members, dtype=np.int32)
+        ),
+        per_root_work=per_root_work,
+        per_root_memory=per_root_memory,
+        counters=totals,
+        descriptor=descriptor,
+        degraded_from=degraded_from,
+    )

@@ -1,0 +1,163 @@
+"""Shared-memory publication of CSR graph pairs.
+
+The old process pool shipped the whole graph to every worker through
+the pickle channel — O(|V| + |E|) bytes *per worker*, twice (graph and
+DAG).  Real parallel clique counters share one read-only copy of the
+adjacency; this module reproduces that with
+:mod:`multiprocessing.shared_memory`:
+
+* :func:`publish_graph_pair` packs the four CSR arrays (graph indptr /
+  indices, DAG indptr / indices, all ``int64``) into **one** shared
+  segment and returns a handle whose :attr:`~SharedGraphPair.spec` is a
+  tiny picklable descriptor (segment name + offsets);
+* :func:`attach_graph_pair` rebuilds both :class:`~repro.graph.csr.CSRGraph`
+  objects in a worker as zero-copy views over the mapped segment —
+  identical under ``fork`` and ``spawn`` start methods, since
+  attachment goes by name, not by inheritance.
+
+The parent owns the segment lifetime (:meth:`SharedGraphPair.unlink`
+when the run ends); workers only map it.  Python 3.11's resource
+tracker registers a segment on *attach* as well as on create, which
+would make every worker exit try to unlink the parent's segment — the
+attach path therefore unregisters itself, the standard workaround
+until the ``track=False`` parameter (3.13) is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["SharedGraphSpec", "SharedGraphPair", "publish_graph_pair",
+           "attach_graph_pair"]
+
+#: (field, is_directed) layout of the four packed arrays, in order.
+_ARRAYS = ("g_indptr", "g_indices", "d_indptr", "d_indices")
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Picklable descriptor of one published graph pair.
+
+    ``offsets[i]`` / ``lengths[i]`` locate array ``i`` (order:
+    graph indptr, graph indices, DAG indptr, DAG indices) inside the
+    segment, in ``int64`` words.  A few dozen bytes on the task wire
+    regardless of graph size.
+    """
+
+    name: str
+    offsets: tuple[int, int, int, int]
+    lengths: tuple[int, int, int, int]
+
+
+class SharedGraphPair:
+    """Parent-side handle: the mapped segment plus its spec.
+
+    Context-manager use unlinks on exit::
+
+        with publish_graph_pair(graph, dag) as shared:
+            ... dispatch tasks carrying shared.spec ...
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 spec: SharedGraphSpec) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap the parent's view (workers' mappings are unaffected)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment name; existing mappings stay valid until
+        their owners unmap, so calling this while stragglers finish is
+        safe on POSIX."""
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedGraphPair":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+def publish_graph_pair(graph: CSRGraph, dag: CSRGraph) -> SharedGraphPair:
+    """Copy ``(graph, dag)`` into one shared segment, once.
+
+    The single O(|V| + |E|) copy here replaces the per-worker pickle of
+    the old pool; every worker after this is zero-copy.
+    """
+    arrays = [
+        np.ascontiguousarray(graph.indptr, dtype=np.int64),
+        np.ascontiguousarray(graph.indices, dtype=np.int64),
+        np.ascontiguousarray(dag.indptr, dtype=np.int64),
+        np.ascontiguousarray(dag.indices, dtype=np.int64),
+    ]
+    offsets = []
+    pos = 0
+    for a in arrays:
+        offsets.append(pos)
+        pos += int(a.size)
+    nbytes = max(pos * 8, 1)  # zero-byte segments are rejected
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)
+    for a, off in zip(arrays, offsets):
+        if a.size:
+            dst = np.frombuffer(shm.buf, dtype=np.int64, count=a.size,
+                                offset=off * 8)
+            dst[:] = a
+    spec = SharedGraphSpec(
+        name=shm.name,
+        offsets=tuple(offsets),
+        lengths=tuple(int(a.size) for a in arrays),
+    )
+    return SharedGraphPair(shm, spec)
+
+
+def attach_graph_pair(
+    spec: SharedGraphSpec,
+) -> tuple[CSRGraph, CSRGraph, shared_memory.SharedMemory]:
+    """Map a published pair in a worker — zero-copy, read-only.
+
+    Returns ``(graph, dag, shm)``; the caller must keep ``shm``
+    referenced as long as the graphs are in use (the arrays are views
+    over its buffer).  Validation is skipped: the arrays were valid
+    CSR when published and the mapping is byte-identical.
+    """
+    # Python 3.11 registers attached segments with the (shared)
+    # resource tracker, which would have any worker's exit unlink the
+    # parent's live data and double-unregister at parent unlink time.
+    # Suppress registration for the duration of the attach — the
+    # parent's own create-time registration stays the single owner.
+    # (3.13's ``track=False`` parameter makes this explicit.)
+    from multiprocessing import resource_tracker
+
+    orig_register = resource_tracker.register
+
+    def _skip_shm(name, rtype, _orig=orig_register):
+        if rtype != "shared_memory":  # pragma: no cover - not hit here
+            _orig(name, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        shm = shared_memory.SharedMemory(name=spec.name)
+    finally:
+        resource_tracker.register = orig_register
+    views = [
+        np.frombuffer(shm.buf, dtype=np.int64, count=length, offset=off * 8)
+        if length else np.zeros(0, dtype=np.int64)
+        for off, length in zip(spec.offsets, spec.lengths)
+    ]
+    graph = CSRGraph(views[0], views[1], directed=False, validate=False)
+    dag = CSRGraph(views[2], views[3], directed=True, validate=False)
+    return graph, dag, shm

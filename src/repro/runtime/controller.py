@@ -198,8 +198,14 @@ class RunController:
 
     def complete_root(self, v: int) -> None:
         """A root's counts are folded in; autosave periodically."""
-        self.spent.roots_done += 1
-        self._since_save += 1
+        self.complete_roots(1)
+
+    def complete_roots(self, count: int) -> None:
+        """A batch of roots' counts are folded in at once — the
+        parallel runtime's unit of progress is a *chunk* of roots, not
+        a single root, so the meter advances by the chunk size."""
+        self.spent.roots_done += int(count)
+        self._since_save += int(count)
         if (
             self.checkpoint_path is not None
             and self._since_save >= self.checkpoint_every
@@ -228,6 +234,13 @@ class RunController:
     # ------------------------------------------------------------------
     # state access
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`begin` has run — lets batch entry points
+        attach to an already-running controller without re-beginning
+        (which would reset the clock and re-trigger resume loads)."""
+        return self._t0 is not None
+
     def elapsed_seconds(self) -> float:
         """Wall-clock spent, including time before an interruption."""
         if self._t0 is None:

@@ -57,7 +57,7 @@ def test_hybrid_agrees(name):
 def test_process_pool_agrees(name):
     g = load(name)
     o = core_ordering(g)
-    assert count_kcliques_processes(g, 4, o, processes=2) == (
+    assert count_kcliques_processes(g, 4, o, processes=2).count == (
         count_kcliques(g, 4, o).count
     )
 

@@ -1,0 +1,271 @@
+"""Differential + integration suite for the process-parallel runtime.
+
+The SCT total is a sum of independent per-root partial sums, so the
+parallel backend must be *bit-identical* to the serial engine — not
+statistically close.  This suite checks that over the shared 40-graph
+corpus on both kernel backends and both start methods, and exercises
+the runtime's integration contracts: controller budgets and
+checkpoint/resume at chunk granularity, the worker-crash degradation
+rung (deterministic fault injection), per-worker metrics merging, and
+the one-task-per-chunk dispatch that keeps scheduling dynamic.
+"""
+
+import numpy as np
+import pytest
+
+from tests.corpus import GRAPHS, IDS, ordering
+from repro import obs
+from repro.counting.forest import build_forest
+from repro.counting.pervertex import per_vertex_counts
+from repro.counting.sct import SCTEngine
+from repro.errors import (
+    NodeBudgetExceededError,
+    ParallelModelError,
+    WorkerCrashError,
+)
+from repro.graph.generators import erdos_renyi
+from repro.ordering import core_ordering
+from repro.parallel import (
+    ParallelRuntime,
+    build_forest_processes,
+    count_all_sizes_processes,
+    count_kcliques_processes,
+    per_vertex_counts_processes,
+    plan_chunks,
+)
+from repro.parallel.shm import attach_graph_pair, publish_graph_pair
+from repro.runtime import Budget, RunController
+
+SUBSET = [0, 7, 16, 23, 29, 37]  # one or two per generator family
+
+
+@pytest.fixture(scope="module")
+def rt_fork():
+    """One persistent fork pool shared by the whole module (pool
+    startup would otherwise dominate 40 tiny graphs)."""
+    with ParallelRuntime(2, start_method="fork") as rt:
+        yield rt
+
+
+@pytest.fixture(scope="module")
+def rt_spawn():
+    with ParallelRuntime(2, start_method="spawn") as rt:
+        yield rt
+
+
+# ----------------------------------------------------------------------
+# corpus differential: parallel == serial, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,g", GRAPHS, ids=IDS)
+def test_corpus_fork_matches_serial(name, g, rt_fork):
+    o = ordering(name, g)
+    for kernel in ("bigint", "wordarray"):
+        serial = SCTEngine(g, o, kernel=kernel).count(3)
+        got = count_kcliques_processes(
+            g, 3, o, processes=2, kernel=kernel, runtime=rt_fork
+        )
+        assert got.count == serial.count
+        assert got.counters.function_calls == serial.counters.function_calls
+        assert np.array_equal(got.per_root_work, serial.per_root_work)
+    serial_all = SCTEngine(g, o).count_all()
+    got_all = count_all_sizes_processes(g, o, processes=2, runtime=rt_fork)
+    assert got_all.all_counts == serial_all.all_counts
+
+
+def test_corpus_spawn_matches_serial(rt_spawn):
+    # spawn re-imports the worker module from scratch — the start
+    # method real deployments use on macOS/Windows.  One persistent
+    # pool over the full corpus keeps this affordable.
+    for name, g in GRAPHS:
+        o = ordering(name, g)
+        serial = SCTEngine(g, o).count(3).count
+        got = count_kcliques_processes(
+            g, 3, o, processes=2, runtime=rt_spawn
+        ).count
+        assert got == serial, name
+
+
+@pytest.mark.parametrize("procs", (1, 2, 4))
+def test_process_count_sweep(procs):
+    for idx in SUBSET[:3]:
+        name, g = GRAPHS[idx]
+        o = ordering(name, g)
+        serial = SCTEngine(g, o).count(4).count
+        assert count_kcliques_processes(
+            g, 4, o, processes=procs
+        ).count == serial, name
+
+
+def test_per_vertex_matches_serial(rt_fork):
+    for idx in SUBSET:
+        name, g = GRAPHS[idx]
+        o = ordering(name, g)
+        assert per_vertex_counts_processes(
+            g, 3, o, processes=2, runtime=rt_fork
+        ) == per_vertex_counts(g, 3, o), name
+
+
+def test_forest_matches_serial(rt_fork):
+    for idx in SUBSET[:3]:
+        name, g = GRAPHS[idx]
+        o = ordering(name, g)
+        f_s = build_forest(g, o)
+        f_p = build_forest_processes(g, o, processes=2, runtime=rt_fork)
+        assert np.array_equal(f_s.roots, f_p.roots), name
+        assert np.array_equal(f_s.held_n, f_p.held_n), name
+        assert np.array_equal(f_s.pivot_n, f_p.pivot_n), name
+        assert np.array_equal(f_s.held_members, f_p.held_members), name
+        assert np.array_equal(f_s.pivot_members, f_p.pivot_members), name
+        assert f_s.count_all() == f_p.count_all(), name
+
+
+# ----------------------------------------------------------------------
+# obs integration: merged worker counters == serial counters
+# ----------------------------------------------------------------------
+def test_worker_metrics_sum_to_serial(rt_fork):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    with obs.collecting() as reg_s:
+        SCTEngine(g, o).count(3)
+    with obs.collecting() as reg_p:
+        count_kcliques_processes(g, 3, o, processes=2, runtime=rt_fork)
+    for metric in ("engine_nodes_visited_total", "kernel_calls_total",
+                   "engine_roots_total"):
+        assert reg_p.total(metric) == reg_s.total(metric), metric
+
+
+# ----------------------------------------------------------------------
+# runtime/controller integration
+# ----------------------------------------------------------------------
+def test_budget_enforced_at_chunk_granularity():
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    ctl = RunController(Budget(max_nodes=1))
+    with pytest.raises(NodeBudgetExceededError):
+        count_kcliques_processes(g, 3, o, processes=2, controller=ctl)
+
+
+def test_checkpoint_resume_bit_identical(tmp_path):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    serial = SCTEngine(g, o).count(3)
+    ckpt = str(tmp_path / "par.ckpt")
+    ctl = RunController(
+        Budget(max_nodes=serial.counters.function_calls // 2),
+        checkpoint_path=ckpt,
+    )
+    with pytest.raises(NodeBudgetExceededError):
+        count_kcliques_processes(g, 3, o, processes=2, controller=ctl)
+    resumed = RunController(checkpoint_path=ckpt, resume=True)
+    got = count_kcliques_processes(g, 3, o, processes=2, controller=resumed)
+    assert got.count == serial.count
+    assert got.counters.function_calls == serial.counters.function_calls
+    assert np.array_equal(got.per_root_work, serial.per_root_work)
+    assert resumed.spent.roots_done == g.num_vertices
+
+
+def test_worker_crash_raises_without_degrade(rt_fork):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    with pytest.raises(WorkerCrashError):
+        count_kcliques_processes(
+            g, 3, o, processes=2, runtime=rt_fork, fault_chunks={0}
+        )
+
+
+def test_worker_crash_degrades_to_exact_retry(rt_fork):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    serial = SCTEngine(g, o).count(3)
+    got = count_kcliques_processes(
+        g, 3, o, processes=2, runtime=rt_fork, degrade=True,
+        fault_chunks={0, 1},
+    )
+    # The retry rung re-runs the dead chunks in-process on the bigint
+    # reference backend: the count stays exact, only the flag records
+    # that workers died.
+    assert got.count == serial.count
+    assert got.counters.function_calls == serial.counters.function_calls
+    assert got.degraded_from == "worker"
+
+
+# ----------------------------------------------------------------------
+# dispatch regression: every chunk must be its own pool task
+# ----------------------------------------------------------------------
+def test_each_chunk_is_its_own_task(monkeypatch):
+    # Regression for the old ``pool.map(fn, chunks)`` dispatch: map's
+    # default chunksize heuristic re-batches consecutive chunks onto
+    # one worker, silently undoing chunks_per_process oversubscription.
+    import multiprocessing.pool as mpool
+
+    captured = {}
+    orig = mpool.Pool.imap_unordered
+
+    def spy(self, func, iterable, chunksize=1):
+        tasks = list(iterable)
+        captured["chunksize"] = chunksize
+        captured["num_tasks"] = len(tasks)
+        return orig(self, func, tasks, chunksize)
+
+    monkeypatch.setattr(mpool.Pool, "imap_unordered", spy)
+    g = erdos_renyi(40, 0.2, seed=7)
+    o = core_ordering(g)
+    serial = SCTEngine(g, o).count(3).count
+    got = count_kcliques_processes(
+        g, 3, o, processes=2, chunks_per_process=5
+    )
+    assert got.count == serial
+    assert captured["chunksize"] == 1
+    assert captured["num_tasks"] == 10  # processes * chunks_per_process
+
+
+# ----------------------------------------------------------------------
+# chunk planner properties
+# ----------------------------------------------------------------------
+def test_plan_chunks_covers_each_root_exactly_once():
+    rng = np.random.default_rng(11)
+    for n, procs, cpp in ((1, 2, 4), (5, 2, 4), (37, 3, 4), (200, 4, 7)):
+        degrees = rng.integers(0, 50, size=n)
+        chunks = plan_chunks(degrees, procs, cpp)
+        assert all(c.size > 0 for c in chunks)
+        assert len(chunks) == min(n, procs * cpp)
+        flat = np.sort(np.concatenate(chunks))
+        assert np.array_equal(flat, np.arange(n))
+
+
+def test_plan_chunks_spreads_heavy_head():
+    # Guided self-scheduling: with a sharply skewed degree sequence the
+    # heaviest root must not share its chunk with the whole tail.
+    degrees = np.array([100] + [1] * 63)
+    chunks = plan_chunks(degrees, 2, 4)
+    heavy = next(c for c in chunks if 0 in c)
+    assert heavy.size < len(degrees) // 2
+
+
+def test_plan_chunks_empty_and_validation():
+    assert plan_chunks(np.zeros(0, dtype=np.int64), 2, 4) == []
+    with pytest.raises(ParallelModelError):
+        plan_chunks(np.ones(4), 0, 4)
+    with pytest.raises(ParallelModelError):
+        plan_chunks(np.ones(4), 2, 0)
+
+
+# ----------------------------------------------------------------------
+# shared-memory round trip
+# ----------------------------------------------------------------------
+def test_shared_graph_pair_round_trip():
+    from repro.ordering.directionalize import directionalize
+
+    g = erdos_renyi(30, 0.2, seed=3)
+    dag = directionalize(g, core_ordering(g))
+    with publish_graph_pair(g, dag) as shared:
+        g2, dag2, shm = attach_graph_pair(shared.spec)
+        try:
+            assert np.array_equal(g2.indptr, g.indptr)
+            assert np.array_equal(g2.indices, g.indices)
+            assert np.array_equal(dag2.indptr, dag.indptr)
+            assert np.array_equal(dag2.indices, dag.indices)
+            assert dag2.directed and not g2.directed
+        finally:
+            del g2, dag2
+            shm.close()

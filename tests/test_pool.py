@@ -1,4 +1,4 @@
-"""Real process-based parallel counting."""
+"""Real process-based parallel counting — entry-point contracts."""
 
 import pytest
 
@@ -17,19 +17,32 @@ def graph():
 def test_single_process_matches_serial(graph):
     o = core_ordering(graph)
     serial = count_kcliques(graph, 4, o).count
-    assert count_kcliques_processes(graph, 4, o, processes=1) == serial
+    assert count_kcliques_processes(graph, 4, o, processes=1).count == serial
+
+
+def test_single_process_returns_full_result(graph):
+    # Regression: the old fast path returned ``result.count or 0`` — a
+    # bare int that dropped counters/metadata and masked None as 0.
+    o = core_ordering(graph)
+    serial = count_kcliques(graph, 4, o)
+    got = count_kcliques_processes(graph, 4, o, processes=1)
+    assert got.count == serial.count
+    assert got.counters.function_calls == serial.counters.function_calls
+    assert got.approximate is False
+    assert got.degraded_from is None
+    assert got.k == 4
 
 
 def test_two_processes_match_serial(graph):
     o = core_ordering(graph)
     serial = count_kcliques(graph, 4, o).count
-    assert count_kcliques_processes(graph, 4, o, processes=2) == serial
+    assert count_kcliques_processes(graph, 4, o, processes=2).count == serial
 
 
 def test_accepts_dag(graph):
     o = core_ordering(graph)
     dag = directionalize(graph, o)
-    assert count_kcliques_processes(graph, 3, dag, processes=2) == (
+    assert count_kcliques_processes(graph, 3, dag, processes=2).count == (
         count_kcliques(graph, 3, o).count
     )
 
@@ -40,12 +53,13 @@ def test_chunking_does_not_change_result(graph):
     got = count_kcliques_processes(
         graph, 3, o, processes=2, chunks_per_process=7
     )
-    assert got == serial
+    assert got.count == serial
 
 
 def test_empty_graph():
     g = empty_graph(0)
-    assert count_kcliques_processes(g, 3, core_ordering(g), processes=2) == 0
+    r = count_kcliques_processes(g, 3, core_ordering(g), processes=2)
+    assert r.count == 0
 
 
 def test_validation():
