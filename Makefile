@@ -1,6 +1,7 @@
 # Convenience targets for the PivotScale reproduction.
 
-.PHONY: install test test-fast bench report figures examples clean
+.PHONY: install test test-fast bench bench-record bench-compare report \
+        figures examples clean
 
 install:
 	pip install -e '.[test]'
@@ -13,6 +14,14 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Record the gated smoke benches into the run store, then gate them
+# statistically against the promoted baselines (docs/benchmarking.md).
+bench-record:
+	python -m repro bench run all --smoke --repeat 3
+
+bench-compare:
+	python -m repro bench compare --strict
 
 report:
 	python -m repro report

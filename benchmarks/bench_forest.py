@@ -28,7 +28,8 @@ import argparse
 import sys
 import time
 
-from repro.bench.harness import Table, fmt_seconds, time_best, write_json_artifact
+from repro.bench.harness import Table, fmt_seconds, time_samples, write_json_artifact
+from repro.bench.platform import add_store_args, store_and_check
 from repro.counting.forest import build_forest
 from repro.counting.pervertex import per_vertex_counts
 from repro.counting.sct import SCTEngine
@@ -47,18 +48,23 @@ PV_K = 5
 GATE = 5.0
 
 
-def _bench_graphs(smoke: bool):
-    """(name, graph) pairs; small synthetic corpus + one analog."""
+def _bench_graphs(smoke: bool, seed: int):
+    """(name, graph) pairs; small synthetic corpus + one analog.
+
+    Every synthetic graph derives from the explicit ``seed`` so a
+    stored record names exactly the workload it measured.
+    """
     if smoke:
         return [
-            ("er-120", erdos_renyi(120, 0.3, seed=11)),
-            ("cl-150", chung_lu(power_law_degrees(150, 2.3, 40, seed=3),
-                                seed=3)),
+            ("er-120", erdos_renyi(120, 0.3, seed=seed)),
+            ("cl-150", chung_lu(power_law_degrees(150, 2.3, 40,
+                                                  seed=seed + 1),
+                                seed=seed + 1)),
         ]
     return [
-        ("er-300", erdos_renyi(300, 0.25, seed=11)),
-        ("cl-400", chung_lu(power_law_degrees(400, 2.3, 60, seed=3),
-                            seed=3)),
+        ("er-300", erdos_renyi(300, 0.25, seed=seed)),
+        ("cl-400", chung_lu(power_law_degrees(400, 2.3, 60, seed=seed + 1),
+                            seed=seed + 1)),
         ("dblp", load("dblp")),
     ]
 
@@ -78,9 +84,25 @@ def _forest_workload(forest):
     return counts, per
 
 
-def run_forest_bench(*, smoke, number, repeats, out_path):
+def _work_metrics(seed):
+    """Exact work counters for the record: one deterministic small
+    forest build + query pass under observation."""
+    from repro import obs
+
+    g = erdos_renyi(90, 0.3, seed=seed)
+    dag = directionalize(g, core_ordering(g))
+    with obs.collecting() as registry:
+        forest = build_forest(g, dag)
+        forest.count(PV_K)
+        forest.per_vertex(PV_K)
+    return registry
+
+
+def run_forest_bench(*, smoke, number, repeats, out_path, seed=11,
+                     graphs=None, store_args=None):
     """Time the sweep workload direct-vs-forest; returns the payload."""
-    graphs = _bench_graphs(smoke)
+    if graphs is None:
+        graphs = _bench_graphs(smoke, seed)
     table = Table(
         title=f"forest vs repeated recursion (k={K_SWEEP[0]}..{K_SWEEP[-1]} "
               f"sweep + per-vertex k={PV_K})",
@@ -91,6 +113,7 @@ def run_forest_bench(*, smoke, number, repeats, out_path):
     gate_pass = True
     counts_match = True
     reference_counts: dict[str, dict] = {}
+    store_samples: dict[str, list[float]] = {}
 
     for gname, g in graphs:
         dag = directionalize(g, core_ordering(g))
@@ -107,14 +130,18 @@ def run_forest_bench(*, smoke, number, repeats, out_path):
             ok = ok and ref == d_counts
             counts_match = counts_match and ok
 
-            direct_s = time_best(
+            direct_samples = time_samples(
                 lambda: _direct_workload(g, dag, backend),
                 number=number, repeats=repeats,
             )
-            query_s = time_best(
+            query_samples = time_samples(
                 lambda: _forest_workload(forest),
                 number=max(number, 10), repeats=repeats,
             )
+            direct_s = min(direct_samples)
+            query_s = min(query_samples)
+            store_samples[f"{gname}.{backend}.direct_s"] = direct_samples
+            store_samples[f"{gname}.{backend}.query_s"] = query_samples
             speedup = direct_s / query_s
             # Queries-to-break-even: after this many workload
             # repetitions the build has paid for itself.
@@ -163,6 +190,7 @@ def run_forest_bench(*, smoke, number, repeats, out_path):
             "per_vertex_k": PV_K,
             "number": number,
             "repeats": repeats,
+            "seed": seed,
         },
         "results": results,
         "gate": {
@@ -173,6 +201,18 @@ def run_forest_bench(*, smoke, number, repeats, out_path):
     }
     artifact = write_json_artifact(out_path, payload)
     print(f"wrote {artifact}")
+
+    # Run-store migration: direct/query samples per (graph, backend);
+    # the >= 5x threshold stays as the hard floor, the stored baseline
+    # does regression detection on the raw query times.
+    _, comparison, store_rc = store_and_check(
+        "forest", payload, store_samples, seed=seed, args=store_args,
+        registry=_work_metrics(seed),
+    )
+    payload["store_result"] = {
+        "regressed": bool(comparison.regressed) if comparison else False,
+        "exit": store_rc,
+    }
     return payload
 
 
@@ -183,11 +223,15 @@ def main(argv=None):
                     help="small graphs, few repeats (CI)")
     ap.add_argument("--out", default="BENCH_forest.json",
                     help="JSON artifact path (default: %(default)s)")
+    ap.add_argument("--seed", type=int, default=11,
+                    help="base RNG seed for the synthetic bench graphs")
+    add_store_args(ap)
     args = ap.parse_args(argv)
 
     cfg = (dict(smoke=True, number=1, repeats=2) if args.smoke
            else dict(smoke=False, number=1, repeats=3))
-    payload = run_forest_bench(out_path=args.out, **cfg)
+    payload = run_forest_bench(out_path=args.out, seed=args.seed,
+                               store_args=args, **cfg)
     if not payload["gate"]["counts_match"]:
         print("FAIL: forest-served counts diverged from the direct "
               "engines", file=sys.stderr)
@@ -196,7 +240,7 @@ def main(argv=None):
         print("FAIL: forest-served queries missed the "
               f">={GATE:.0f}x speedup gate", file=sys.stderr)
         return 1
-    return 0
+    return payload["store_result"]["exit"]
 
 
 if __name__ == "__main__":

@@ -22,7 +22,8 @@ import sys
 import numpy as np
 import pytest
 
-from repro.bench.harness import Table, fmt_rate, time_best, write_json_artifact
+from repro.bench.harness import Table, fmt_rate, time_samples, write_json_artifact
+from repro.bench.platform import add_store_args, store_and_check
 from repro.counting import count_kcliques
 from repro.counting.structures import STRUCTURES, DenseStructure
 from repro.graph.generators import erdos_renyi
@@ -86,9 +87,9 @@ def test_kernel_counting_k8(benchmark, skitter, structure):
 
 
 @pytest.fixture(scope="module")
-def hub_root():
+def hub_root(bench_seed):
     """A large-degree dense-structure root, built per backend."""
-    g = erdos_renyi(900, 0.6, seed=7)
+    g = erdos_renyi(900, 0.6, seed=bench_seed)
     dag = directionalize(g, core_ordering(g))
     hub = int(np.argmax(dag.degrees))
     return {
@@ -112,8 +113,9 @@ def test_kernel_pivot_select(benchmark, hub_root, backend):
 
 
 @pytest.mark.parametrize("backend", sorted(KERNELS))
-def test_kernel_counting_wordarray_vs_bigint(benchmark, backend):
-    g = erdos_renyi(300, 0.25, seed=11)
+def test_kernel_counting_wordarray_vs_bigint(benchmark, backend,
+                                             bench_seed):
+    g = erdos_renyi(300, 0.25, seed=bench_seed + 4)
     ordering = core_ordering(g)
     result = benchmark.pedantic(
         count_kcliques, args=(g, 6, ordering),
@@ -149,7 +151,7 @@ def _op_gate(op: str, gate: float) -> float:
 
 
 def _bench_ops(ctx, *, number, repeats):
-    """Time the kernel ops on one built root context."""
+    """Per-repeat timing samples of the kernel ops on one built root."""
     kern, rows, d = ctx.kernel, ctx.rows, ctx.d
     P = (1 << d) - 1
     ops = {
@@ -158,17 +160,35 @@ def _bench_ops(ctx, *, number, repeats):
         "intersect_count_sweep": lambda: kern.intersect_count_sweep(rows, P),
     }
     return {
-        name: time_best(fn, number=number, repeats=repeats)
+        name: time_samples(fn, number=number, repeats=repeats)
         for name, fn in ops.items()
     }
 
 
-def run_kernel_bench(*, n, p, seed, number, repeats, gate, out_path):
+def _work_metrics(seed):
+    """Exact work counters for the record: a deterministic small count
+    on both backends, whose engine/kernel totals depend only on the
+    seed (any drift is an algorithmic change, not timing noise)."""
+    from repro import obs
+
+    g = erdos_renyi(120, 0.3, seed=seed)
+    ordering = core_ordering(g)
+    with obs.collecting() as registry:
+        for backend in sorted(KERNELS):
+            count_kcliques(g, 4, ordering, kernel=backend)
+    return registry
+
+
+def run_kernel_bench(*, n, p, seed, number, repeats, gate, out_path,
+                     store_args=None):
     """Old-vs-new kernel comparison on a dense-structure hub root.
 
     Returns the payload dict (also written to ``out_path``); the
     ``gate`` entry records whether the word-array backend met the
-    required speedup on the fused intersect/popcount kernels.
+    required speedup on the fused intersect/popcount kernels.  The
+    invocation is also appended to the run store and checked against
+    the promoted baseline (``payload["store_result"]``, never written
+    to the legacy artifact).
     """
     g = erdos_renyi(n, p, seed=seed)
     dag = directionalize(g, core_ordering(g))
@@ -188,8 +208,8 @@ def run_kernel_bench(*, n, p, seed, number, repeats, gate, out_path):
     )
     ops_payload = {}
     for op in timings["bigint"]:
-        bi = timings["bigint"][op]
-        wa = timings["wordarray"][op]
+        bi = min(timings["bigint"][op])
+        wa = min(timings["wordarray"][op])
         speedup = bi / wa
         words_per_s = d * words / wa
         ops_payload[op] = {
@@ -221,6 +241,23 @@ def run_kernel_bench(*, n, p, seed, number, repeats, gate, out_path):
     }
     artifact = write_json_artifact(out_path, payload)
     print(f"wrote {artifact}")
+
+    # Run-store migration: append this invocation (per-repeat samples,
+    # exact work counters, legacy gate verdict) and compare against the
+    # promoted stored baseline.  The fixed thresholds above survive as
+    # hard floors; the store comparison is the statistical gate.
+    samples = {
+        f"{backend}.{op}": timings[backend][op]
+        for backend in timings for op in timings[backend]
+    }
+    _, comparison, store_rc = store_and_check(
+        "kernels", payload, samples, seed=seed, args=store_args,
+        registry=_work_metrics(seed),
+    )
+    payload["store_result"] = {
+        "regressed": bool(comparison.regressed) if comparison else False,
+        "exit": store_rc,
+    }
     return payload
 
 
@@ -236,6 +273,7 @@ def main(argv=None):
     ap.add_argument("--p", type=float, default=None,
                     help="edge probability (default: 0.6 full, 0.5 smoke)")
     ap.add_argument("--seed", type=int, default=7)
+    add_store_args(ap)
     args = ap.parse_args(argv)
 
     if args.smoke:
@@ -245,12 +283,12 @@ def main(argv=None):
         cfg = dict(n=args.n or 1200, p=args.p or 0.6, seed=args.seed,
                    number=20, repeats=5, gate=FULL_GATE)
 
-    payload = run_kernel_bench(out_path=args.out, **cfg)
+    payload = run_kernel_bench(out_path=args.out, store_args=args, **cfg)
     if not payload["gate"]["pass"]:
         print("FAIL: word-array kernels missed the speedup gate",
               file=sys.stderr)
         return 1
-    return 0
+    return payload["store_result"]["exit"]
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ import time
 
 from repro import obs
 from repro.bench.harness import Table, fmt_seconds, write_json_artifact
+from repro.bench.platform import add_store_args, store_and_check
 from repro.counting import count_kcliques
 from repro.graph.generators import erdos_renyi
 from repro.obs import NOOP_METRIC, NOOP_SPAN, MetricsRegistry
@@ -114,25 +115,28 @@ def _with_stripped_hooks(fn):
 
 
 def _time_interleaved(variants, *, number, repeats):
-    """Best-of-``repeats`` seconds per call for each variant, with the
-    repeats *interleaved* (A B C, A B C, ...) rather than sequential.
+    """Per-repeat seconds per call for each variant, with the repeats
+    *interleaved* (A B C, A B C, ...) rather than sequential.
 
-    Sequential best-of is the standard microbench estimator but it
+    Sequential timing is the standard microbench shape but it
     attributes slow phases of a noisy machine to whichever variant ran
-    through them; interleaving exposes every variant to the same noise
-    so the minima are comparable.
+    through them; interleaving exposes every variant to the same noise,
+    so both the minima and the per-repeat *pairs* (repeat i of variant
+    A vs repeat i of variant B — what the run store keeps as overhead
+    ratios) are comparable.
     """
-    best = {name: float("inf") for name in variants}
+    samples = {name: [] for name in variants}
     for _ in range(repeats):
         for name, fn in variants.items():
             t0 = time.perf_counter()
             for _ in range(number):
                 fn()
-            best[name] = min(best[name], (time.perf_counter() - t0) / number)
-    return best
+            samples[name].append((time.perf_counter() - t0) / number)
+    return samples
 
 
-def run_obs_bench(*, n, p, seed, number, repeats, out_path):
+def run_obs_bench(*, n, p, seed, number, repeats, out_path,
+                  store_args=None):
     """Time the k-sweep stripped vs. disabled vs. enabled.
 
     Returns the payload dict (also written to ``out_path``); the
@@ -164,7 +168,7 @@ def run_obs_bench(*, n, p, seed, number, repeats, out_path):
     assert stripped_sweep() == checksum
     assert enabled_sweep() == checksum
 
-    timings = _time_interleaved(
+    samples = _time_interleaved(
         {
             "stripped": stripped_sweep,
             "disabled": sweep,
@@ -172,9 +176,9 @@ def run_obs_bench(*, n, p, seed, number, repeats, out_path):
         },
         number=number, repeats=repeats,
     )
-    t_stripped = timings["stripped"]
-    t_disabled = timings["disabled"]
-    t_enabled = timings["enabled"]
+    t_stripped = min(samples["stripped"])
+    t_disabled = min(samples["disabled"])
+    t_enabled = min(samples["enabled"])
 
     overhead_pct = (t_disabled / t_stripped - 1.0) * 100.0
     enabled_pct = (t_enabled / t_stripped - 1.0) * 100.0
@@ -214,6 +218,29 @@ def run_obs_bench(*, n, p, seed, number, repeats, out_path):
     }
     artifact = write_json_artifact(out_path, payload)
     print(f"wrote {artifact}")
+
+    # Run-store migration: the stored metric of record is the *paired*
+    # per-repeat overhead ratio (disabled_i / stripped_i — interleaving
+    # makes repeat i comparable across variants), plus the raw variant
+    # samples; exact work counters come from one instrumented sweep.
+    store_samples = {
+        "stripped_s": samples["stripped"],
+        "disabled_s": samples["disabled"],
+        "enabled_s": samples["enabled"],
+        "overhead_ratio": [
+            d / s for d, s in zip(samples["disabled"], samples["stripped"])
+        ],
+    }
+    with obs.collecting() as registry:
+        sweep()
+    _, comparison, store_rc = store_and_check(
+        "obs", payload, store_samples, seed=seed, args=store_args,
+        registry=registry,
+    )
+    payload["store_result"] = {
+        "regressed": bool(comparison.regressed) if comparison else False,
+        "exit": store_rc,
+    }
     return payload
 
 
@@ -229,6 +256,7 @@ def main(argv=None):
     ap.add_argument("--p", type=float, default=None,
                     help="edge probability (default: 0.3)")
     ap.add_argument("--seed", type=int, default=7)
+    add_store_args(ap)
     args = ap.parse_args(argv)
 
     if args.smoke:
@@ -238,12 +266,12 @@ def main(argv=None):
         cfg = dict(n=args.n or 150, p=args.p or 0.3, seed=args.seed,
                    number=3, repeats=9)
 
-    payload = run_obs_bench(out_path=args.out, **cfg)
+    payload = run_obs_bench(out_path=args.out, store_args=args, **cfg)
     if not payload["gate"]["pass"]:
         print("FAIL: disabled observability hooks exceeded the "
               f"{OVERHEAD_GATE_PCT:.0f}% overhead gate", file=sys.stderr)
         return 1
-    return 0
+    return payload["store_result"]["exit"]
 
 
 if __name__ == "__main__":

@@ -28,9 +28,10 @@ Usage::
 import argparse
 import os
 import sys
-import time
 
-from repro.bench.harness import Table, fmt_seconds, write_json_artifact
+from repro import obs
+from repro.bench.harness import Table, fmt_seconds, time_samples, write_json_artifact
+from repro.bench.platform import add_store_args, store_and_check
 from repro.counting.sct import SCTEngine
 from repro.graph.generators import erdos_renyi
 from repro.ordering import core_ordering, directionalize
@@ -42,25 +43,18 @@ OVERHEAD_GATE = 0.25
 SPEEDUP_GATE = 1.05
 
 
-def _time_best(fn, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def run_parallel_bench(*, n, p, k, seed, processes, chunks_per_process,
-                       repeats, out_path):
+                       repeats, out_path, store_args=None):
     g = erdos_renyi(n, p, seed=seed)
     o = core_ordering(g)
     dag = directionalize(g, o)
     engine = SCTEngine(g, dag)
 
-    serial_result = engine.count(k)
+    # correctness first: a fast wrong answer is still wrong (and the
+    # instrumented run doubles as the record's exact-work fingerprint)
+    with obs.collecting() as registry:
+        serial_result = engine.count(k)
     with ParallelRuntime(processes) as rt:
-        # correctness first: a fast wrong answer is still wrong
         par_result = count_kcliques_processes(
             g, k, dag, processes=processes, runtime=rt,
             chunks_per_process=chunks_per_process,
@@ -68,14 +62,17 @@ def run_parallel_bench(*, n, p, k, seed, processes, chunks_per_process,
         assert par_result.count == serial_result.count, (
             f"parallel {par_result.count} != serial {serial_result.count}"
         )
-        serial_s = _time_best(lambda: engine.count(k), repeats)
-        par_s = _time_best(
+        serial_samples = time_samples(
+            lambda: engine.count(k), number=1, repeats=repeats)
+        par_samples = time_samples(
             lambda: count_kcliques_processes(
                 g, k, dag, processes=processes, runtime=rt,
                 chunks_per_process=chunks_per_process,
             ),
-            repeats,
+            number=1, repeats=repeats,
         )
+    serial_s = min(serial_samples)
+    par_s = min(par_samples)
 
     overhead = par_s / serial_s - 1.0
     speedup = serial_s / par_s
@@ -124,6 +121,26 @@ def run_parallel_bench(*, n, p, k, seed, processes, chunks_per_process,
     }
     artifact = write_json_artifact(out_path, payload)
     print(f"wrote {artifact}")
+
+    # Run-store migration: raw serial/parallel samples plus the paired
+    # per-repeat overhead ratio; the fixed 25%/1.05x thresholds above
+    # stay as hard floors, statistics against the stored baseline do
+    # the regression detection.
+    store_samples = {
+        "serial_s": serial_samples,
+        "parallel_s": par_samples,
+        "overhead_ratio": [
+            q / s for q, s in zip(par_samples, serial_samples)
+        ],
+    }
+    _, comparison, store_rc = store_and_check(
+        "parallel", payload, store_samples, seed=seed, args=store_args,
+        registry=registry,
+    )
+    payload["store_result"] = {
+        "regressed": bool(comparison.regressed) if comparison else False,
+        "exit": store_rc,
+    }
     return payload
 
 
@@ -140,6 +157,7 @@ def main(argv=None):
     ap.add_argument("--k", type=int, default=7,
                     help="clique size (default: %(default)s)")
     ap.add_argument("--seed", type=int, default=13)
+    add_store_args(ap)
     args = ap.parse_args(argv)
 
     # Sized so serial wall is a few hundred ms: long enough that the
@@ -152,12 +170,13 @@ def main(argv=None):
 
     payload = run_parallel_bench(
         seed=args.seed, processes=args.processes,
-        chunks_per_process=args.par_chunks, out_path=args.out, **cfg,
+        chunks_per_process=args.par_chunks, out_path=args.out,
+        store_args=args, **cfg,
     )
     if not payload["gate"]["pass"]:
         print("FAIL: parallel runtime missed its gate", file=sys.stderr)
         return 1
-    return 0
+    return payload["store_result"]["exit"]
 
 
 if __name__ == "__main__":

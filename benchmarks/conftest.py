@@ -15,6 +15,21 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-seed", type=int, default=7,
+        help="base RNG seed for synthetic benchmark graphs (every "
+             "bench derives its graphs from this, so a run is "
+             "reproducible from its recorded seed alone)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_seed(request) -> int:
+    """The explicit base seed every synthetic bench graph derives from."""
+    return request.config.getoption("--bench-seed")
+
+
 def report(result) -> None:
     """Print an experiment's tables + shape-check verdicts and fail the
     bench if a shape check regressed."""

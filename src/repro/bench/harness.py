@@ -17,6 +17,7 @@ __all__ = [
     "fmt_count",
     "fmt_rate",
     "time_best",
+    "time_samples",
     "run_with_metrics",
     "metrics_summary_lines",
     "write_json_artifact",
@@ -57,6 +58,26 @@ def fmt_rate(per_second: float) -> str:
     return f"{per_second:.1f}/s"
 
 
+def time_samples(
+    fn: Callable[[], Any], *, number: int = 10, repeats: int = 5
+) -> list[float]:
+    """Per-repeat mean seconds per call of ``fn`` (``repeats`` samples).
+
+    The full sample list is what the run store keeps: statistical
+    regression detection needs the distribution, not just the min.
+    ``min(time_samples(...))`` is exactly :func:`time_best`.
+    """
+    if number < 1 or repeats < 1:
+        raise ValueError("number and repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(number):
+            fn()
+        samples.append((time.perf_counter() - t0) / number)
+    return samples
+
+
 def time_best(
     fn: Callable[[], Any], *, number: int = 10, repeats: int = 5
 ) -> float:
@@ -66,15 +87,7 @@ def time_best(
     discards scheduler noise and cache-warming effects, which only ever
     inflate a measurement.
     """
-    if number < 1 or repeats < 1:
-        raise ValueError("number and repeats must be >= 1")
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        for _ in range(number):
-            fn()
-        best = min(best, (time.perf_counter() - t0) / number)
-    return best
+    return min(time_samples(fn, number=number, repeats=repeats))
 
 
 def run_with_metrics(fn: Callable[..., Any], *args: Any, **kwargs: Any):

@@ -1,0 +1,68 @@
+"""Benchmark run-store platform: performance as a tracked artifact.
+
+The ``BENCH_*.json`` snapshots gate point-in-time numbers against fixed
+thresholds; this package is what keeps those gates honest over time.
+Every gated bench invocation is appended as a schema'd
+:class:`~repro.bench.platform.store.RunRecord` (git hash, machine
+fingerprint, config + seed, per-repeat samples, exact work counters)
+to a JSON-lines history; the lazily-computed
+:class:`~repro.bench.platform.report.ExperimentReport` serves time
+series, pairwise comparisons, and the Mann-Whitney/bootstrap
+regression gate against the *promoted baseline*
+(:class:`~repro.bench.platform.baseline.BaselineRegistry`).
+
+See ``docs/benchmarking.md`` for the workflow.
+"""
+
+from repro.bench.platform.adapter import (
+    add_store_args,
+    build_record,
+    default_store_root,
+    registry_totals,
+    store_and_check,
+)
+from repro.bench.platform.baseline import BaselineRegistry
+from repro.bench.platform.report import BenchComparison, ExperimentReport
+from repro.bench.platform.stat_tests import (
+    MIN_SAMPLES,
+    MannWhitneyResult,
+    RegressionVerdict,
+    a12,
+    bootstrap_median_ratio_ci,
+    detect_regression,
+    mann_whitney_u,
+    rankdata,
+)
+from repro.bench.platform.store import (
+    SCHEMA_VERSION,
+    RunRecord,
+    RunStore,
+    git_revision,
+    machine_fingerprint,
+    new_run_id,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "RunStore",
+    "machine_fingerprint",
+    "git_revision",
+    "new_run_id",
+    "BaselineRegistry",
+    "ExperimentReport",
+    "BenchComparison",
+    "MannWhitneyResult",
+    "RegressionVerdict",
+    "MIN_SAMPLES",
+    "rankdata",
+    "mann_whitney_u",
+    "a12",
+    "bootstrap_median_ratio_ci",
+    "detect_regression",
+    "add_store_args",
+    "build_record",
+    "default_store_root",
+    "registry_totals",
+    "store_and_check",
+]

@@ -1,0 +1,173 @@
+"""The shared harness adapter between ``benchmarks/bench_*.py`` and
+the run-store platform.
+
+Every gated bench keeps its legacy behavior — print the table, write
+the ``BENCH_*.json`` artifact, enforce its fixed-threshold gate as a
+*hard floor* — and then calls :func:`store_and_check`, which:
+
+1. appends a :class:`~repro.bench.platform.store.RunRecord` built from
+   the legacy payload (config + seed, per-repeat samples, exact work
+   counters from the :class:`~repro.obs.MetricsRegistry`, gate
+   verdict) to the JSON-lines history, and
+2. runs the statistical regression gate against the promoted stored
+   baseline (:meth:`ExperimentReport.regressions`), printing the
+   verdicts and returning a nonzero exit contribution on a *confirmed*
+   regression (same machine, all three statistical checks agreeing).
+
+So "the gate" for each bench is now: legacy hard floor AND
+stored-baseline statistics — magic constants survive only as floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.platform.baseline import BaselineRegistry
+from repro.bench.platform.report import BenchComparison, ExperimentReport
+from repro.bench.platform.store import (
+    RunRecord,
+    RunStore,
+    git_revision,
+    machine_fingerprint,
+    new_run_id,
+)
+
+__all__ = [
+    "DEFAULT_STORE_ENV",
+    "default_store_root",
+    "add_store_args",
+    "registry_totals",
+    "build_record",
+    "store_and_check",
+]
+
+#: Environment override for where the run history lives.
+DEFAULT_STORE_ENV = "REPRO_BENCH_STORE"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_BENCH_STORE`` or ``benchmarks/runs`` (repo layout)."""
+    env = os.environ.get(DEFAULT_STORE_ENV)
+    if env:
+        return Path(env)
+    # The benches run from the repo root (CI does; so does `make`).
+    # When invoked elsewhere, fall back to the checkout that holds this
+    # file so records land in one history, not scattered cwd-relative.
+    cwd_runs = Path("benchmarks") / "runs"
+    if cwd_runs.parent.is_dir():
+        return cwd_runs
+    repo_root = Path(__file__).resolve().parents[4]
+    return repo_root / "benchmarks" / "runs"
+
+
+def add_store_args(ap: argparse.ArgumentParser) -> None:
+    """The store/stat-gate flags every gated bench shares."""
+    grp = ap.add_argument_group("run store (see docs/benchmarking.md)")
+    grp.add_argument("--store-dir", default=None, metavar="DIR",
+                     help="run-store directory (default: benchmarks/runs, "
+                          f"or ${DEFAULT_STORE_ENV})")
+    grp.add_argument("--no-store", action="store_true",
+                     help="skip appending this invocation to the run store")
+    grp.add_argument("--no-stat-gate", action="store_true",
+                     help="record, but do not fail on a statistical "
+                          "regression vs the stored baseline")
+
+
+def registry_totals(registry) -> dict[str, float]:
+    """Flatten a :class:`~repro.obs.MetricsRegistry` into the exact
+    per-name counter totals a record stores (labels summed out)."""
+    totals: dict[str, float] = {}
+    for entry in registry.as_dict().get("counters", []):
+        name = entry["name"]
+        totals[name] = totals.get(name, 0) + entry["value"]
+    return {k: v for k, v in sorted(totals.items())}
+
+
+def build_record(
+    bench: str,
+    payload: dict,
+    samples: dict[str, list[float]],
+    *,
+    seed: int,
+    registry=None,
+    extra_config: dict | None = None,
+) -> RunRecord:
+    """A store record from a legacy bench payload.
+
+    The legacy JSON artifact is left untouched (deprecation contract:
+    its structure stays consumable for one cycle); the record carries
+    the same config plus the seed, the raw per-repeat samples, and the
+    exact work counters.
+    """
+    config = dict(payload.get("config", {}))
+    if extra_config:
+        config.update(extra_config)
+    config.setdefault("seed", seed)
+    return RunRecord(
+        bench=bench,
+        run_id=new_run_id(bench),
+        timestamp=time.time(),
+        config=config,
+        samples={k: [float(x) for x in v] for k, v in samples.items()},
+        metrics=registry_totals(registry) if registry is not None else {},
+        gate=payload.get("gate"),
+        git_hash=git_revision(),
+        machine=machine_fingerprint(),
+    )
+
+
+def store_and_check(
+    bench: str,
+    payload: dict,
+    samples: dict[str, list[float]],
+    *,
+    seed: int,
+    args: argparse.Namespace | None = None,
+    store_dir: str | os.PathLike[str] | None = None,
+    no_store: bool = False,
+    stat_gate: bool = True,
+    registry=None,
+    extra_config: dict | None = None,
+    alpha: float = 0.05,
+    min_effect: float = 1.10,
+    window: int = 3,
+    out=sys.stdout,
+) -> tuple[RunRecord | None, BenchComparison | None, int]:
+    """Append this invocation to the history and gate it statistically.
+
+    Returns ``(record, comparison, exit_code)`` where ``exit_code`` is
+    1 only on a *confirmed* regression with the gate enabled.  ``args``
+    (from :func:`add_store_args`) overrides the keyword defaults.
+    """
+    if args is not None:
+        store_dir = getattr(args, "store_dir", None) or store_dir
+        no_store = no_store or getattr(args, "no_store", False)
+        if getattr(args, "no_stat_gate", False):
+            stat_gate = False
+    if no_store:
+        return None, None, 0
+
+    store = RunStore(store_dir or default_store_root())
+    record = build_record(
+        bench, payload, samples, seed=seed, registry=registry,
+        extra_config=extra_config,
+    )
+    path = store.append(record)
+    print(f"run store: appended {record.run_id} to {path}", file=out)
+
+    report = ExperimentReport(
+        store, baselines=BaselineRegistry.for_store(store),
+        alpha=alpha, min_effect=min_effect, window=window,
+    )
+    comparison = report.regressions(bench)
+    for line in comparison.describe_lines():
+        print(line, file=out)
+    if comparison.regressed and stat_gate:
+        print(f"FAIL: {bench} statistically slower than stored baseline "
+              f"{comparison.baseline_id}", file=sys.stderr)
+        return record, comparison, 1
+    return record, comparison, 0

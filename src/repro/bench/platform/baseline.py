@@ -1,0 +1,83 @@
+"""Baseline registry: which stored run each bench is gated against.
+
+``benchmarks/runs/baselines.json`` maps bench name -> the promoted
+:class:`~repro.bench.platform.store.RunRecord` id (plus the git hash
+and machine fingerprint it was measured on, for provenance and for the
+cross-machine advisory in the report layer).  Promotion is an explicit
+act — ``repro bench baseline promote <bench>`` — so a slow-but-green
+run never silently becomes the new normal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.errors import StoreFormatError
+
+from repro.bench.platform.store import RunRecord, RunStore
+
+__all__ = ["BaselineRegistry"]
+
+_FILENAME = "baselines.json"
+
+
+class BaselineRegistry:
+    """The promoted-baseline map, stored next to the run history."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    @classmethod
+    def for_store(cls, store: RunStore) -> "BaselineRegistry":
+        return cls(store.root / _FILENAME)
+
+    def load(self) -> dict[str, dict]:
+        if not self.path.exists():
+            return {}
+        try:
+            obj = json.loads(self.path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(
+                f"{self.path}: line {exc.lineno}: invalid JSON ({exc.msg})"
+            ) from exc
+        if not isinstance(obj, dict):
+            raise StoreFormatError(
+                f"{self.path}: expected an object mapping bench -> baseline"
+            )
+        for bench, entry in obj.items():
+            if not isinstance(entry, dict) or "run_id" not in entry:
+                raise StoreFormatError(
+                    f"{self.path}: baseline for {bench!r} has no 'run_id'"
+                )
+        return obj
+
+    def get(self, bench: str) -> str | None:
+        """The promoted run id for ``bench``, or ``None``."""
+        entry = self.load().get(bench)
+        return entry["run_id"] if entry else None
+
+    def promote(self, record: RunRecord) -> dict:
+        """Make ``record`` the baseline for its bench; returns the
+        written entry."""
+        entries = self.load()
+        entry = {
+            "run_id": record.run_id,
+            "git_hash": record.git_hash,
+            "machine": dict(record.machine),
+            "promoted_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        entries[record.bench] = entry
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(entries, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BaselineRegistry {self.path}>"

@@ -1,0 +1,244 @@
+"""Statistical comparison of benchmark sample sets (stdlib + numpy).
+
+A "regression" in this repo means *statistically slower than the
+stored baseline with repeated samples*, not "crossed 1.4x".  The
+verdict combines three independent checks, all of which must agree
+before a run is called regressed (fuzzbench's ``stat_tests`` +
+effect-size discipline, without the scipy/pandas dependency):
+
+1. **Mann-Whitney U** (one-sided, normal approximation with tie and
+   continuity correction): the current samples are stochastically
+   larger than the baseline's with ``p < alpha``.
+2. **Practical effect floor**: the median ratio current/baseline is at
+   least ``min_effect`` (default 5%), so machine jitter that is
+   "significant" but tiny never fails a build.
+3. **Bootstrap confidence**: the seeded-bootstrap confidence interval
+   of the median ratio lies entirely above 1.0.
+
+All samples here are wall-clock seconds (or dimensionless ratios of
+them) where *lower is better*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "MannWhitneyResult",
+    "RegressionVerdict",
+    "rankdata",
+    "mann_whitney_u",
+    "a12",
+    "bootstrap_median_ratio_ci",
+    "detect_regression",
+    "MIN_SAMPLES",
+]
+
+#: Below this many samples per side no statistical claim is made; the
+#: verdict reports "insufficient samples" and never flags a regression.
+MIN_SAMPLES = 3
+
+
+def _as_array(x: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(list(x), dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-d sequence")
+    if arr.size and not np.isfinite(arr).all():
+        raise ValueError(f"{name} contains non-finite samples")
+    return arr
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    arr = _as_array(values, "values")
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(arr.size, dtype=np.float64)
+    sorted_vals = arr[order]
+    i = 0
+    while i < arr.size:
+        j = i
+        while j + 1 < arr.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        # Positions i..j (0-based) share the average of ranks i+1..j+1.
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def _normal_sf(z: float) -> float:
+    """P(Z > z) for a standard normal (stdlib erfc, no scipy)."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    u: float          # U statistic of the *first* sample
+    p_value: float
+    alternative: str  # "two-sided" | "greater" | "less"
+
+
+def mann_whitney_u(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    alternative: str = "two-sided",
+) -> MannWhitneyResult:
+    """Mann-Whitney U test via the normal approximation.
+
+    ``alternative="greater"`` tests whether samples in ``a`` tend to be
+    larger than samples in ``b``.  The approximation includes the tie
+    correction to the variance and a 0.5 continuity correction; it is
+    accurate for the sample sizes benchmarks produce (>= ~5 per side)
+    and conservative below that.
+    """
+    if alternative not in ("two-sided", "greater", "less"):
+        raise ValueError(f"unknown alternative {alternative!r}")
+    x = _as_array(a, "a")
+    y = _as_array(b, "b")
+    n1, n2 = x.size, y.size
+    if n1 == 0 or n2 == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    combined = np.concatenate([x, y])
+    ranks = rankdata(combined)
+    r1 = float(ranks[:n1].sum())
+    u1 = r1 - n1 * (n1 + 1) / 2.0  # U of sample a
+
+    mean_u = n1 * n2 / 2.0
+    n = n1 + n2
+    # Tie correction: sum over tie groups of (t^3 - t).
+    _, counts = np.unique(combined, return_counts=True)
+    tie_term = float(((counts ** 3) - counts).sum())
+    var_u = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if var_u <= 0:
+        # All observations identical: no evidence either way.
+        p = 1.0
+        return MannWhitneyResult(u1, p, alternative)
+
+    sd = math.sqrt(var_u)
+    if alternative == "two-sided":
+        z = (abs(u1 - mean_u) - 0.5) / sd
+        p = min(1.0, 2.0 * _normal_sf(max(z, 0.0)))
+    elif alternative == "greater":
+        z = (u1 - mean_u - 0.5) / sd
+        p = _normal_sf(z)
+    else:  # "less"
+        z = (u1 - mean_u + 0.5) / sd
+        p = 1.0 - _normal_sf(z)
+    return MannWhitneyResult(u1, min(max(p, 0.0), 1.0), alternative)
+
+
+def a12(a: Sequence[float], b: Sequence[float]) -> float:
+    """Vargha-Delaney effect size: P(sample of ``a`` > sample of ``b``)
+    plus half the tie probability.  0.5 means no effect."""
+    x = _as_array(a, "a")
+    y = _as_array(b, "b")
+    if x.size == 0 or y.size == 0:
+        raise ValueError("a12 needs non-empty samples")
+    greater = (x[:, None] > y[None, :]).sum()
+    equal = (x[:, None] == y[None, :]).sum()
+    return float((greater + 0.5 * equal) / (x.size * y.size))
+
+
+def bootstrap_median_ratio_ci(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    n_boot: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Seeded percentile-bootstrap CI of median(current)/median(base).
+
+    Deterministic for a given seed, so a stored verdict is
+    reproducible.  Lower CI bound > 1.0 means the slowdown survives
+    resampling noise.
+    """
+    base = _as_array(baseline, "baseline")
+    cur = _as_array(current, "current")
+    if base.size == 0 or cur.size == 0:
+        raise ValueError("bootstrap needs non-empty samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    b_idx = rng.integers(0, base.size, size=(n_boot, base.size))
+    c_idx = rng.integers(0, cur.size, size=(n_boot, cur.size))
+    b_med = np.median(base[b_idx], axis=1)
+    c_med = np.median(cur[c_idx], axis=1)
+    # Guard the degenerate all-zero-baseline resample.
+    ratios = c_med / np.where(b_med == 0, np.finfo(np.float64).tiny, b_med)
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """The three-way verdict for one metric of one bench."""
+
+    metric: str
+    regressed: bool
+    p_value: float | None
+    median_ratio: float | None
+    effect_a12: float | None
+    ci_low: float | None
+    ci_high: float | None
+    n_baseline: int
+    n_current: int
+    note: str = ""
+
+    def describe(self) -> str:
+        if self.median_ratio is None:
+            return f"{self.metric}: {self.note or 'no comparison'}"
+        tag = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.metric}: {tag} ratio={self.median_ratio:.3f}x "
+            f"p={self.p_value:.4f} A12={self.effect_a12:.2f} "
+            f"ci=[{self.ci_low:.3f}, {self.ci_high:.3f}] "
+            f"(n={self.n_baseline} vs {self.n_current})"
+            + (f" — {self.note}" if self.note else "")
+        )
+
+
+def detect_regression(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    metric: str = "wall_s",
+    alpha: float = 0.05,
+    min_effect: float = 1.05,
+    n_boot: int = 2000,
+    seed: int = 0,
+) -> RegressionVerdict:
+    """Is ``current`` statistically slower than ``baseline``?
+
+    Samples are times (lower is better).  All three checks — one-sided
+    Mann-Whitney ``p < alpha``, median ratio >= ``min_effect``, and
+    bootstrap CI entirely above 1.0 — must agree.
+    """
+    base = _as_array(baseline, "baseline")
+    cur = _as_array(current, "current")
+    if base.size < MIN_SAMPLES or cur.size < MIN_SAMPLES:
+        return RegressionVerdict(
+            metric=metric, regressed=False, p_value=None,
+            median_ratio=None, effect_a12=None, ci_low=None, ci_high=None,
+            n_baseline=int(base.size), n_current=int(cur.size),
+            note=f"insufficient samples (need >= {MIN_SAMPLES} per side)",
+        )
+    base_med = float(np.median(base))
+    cur_med = float(np.median(cur))
+    ratio = cur_med / base_med if base_med > 0 else math.inf
+    mw = mann_whitney_u(cur, base, alternative="greater")
+    effect = a12(cur, base)
+    lo, hi = bootstrap_median_ratio_ci(
+        base, cur, n_boot=n_boot, seed=seed,
+    )
+    regressed = (mw.p_value < alpha) and (ratio >= min_effect) and (lo > 1.0)
+    return RegressionVerdict(
+        metric=metric, regressed=bool(regressed), p_value=mw.p_value,
+        median_ratio=ratio, effect_a12=effect, ci_low=lo, ci_high=hi,
+        n_baseline=int(base.size), n_current=int(cur.size),
+    )

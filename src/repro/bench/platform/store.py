@@ -1,0 +1,291 @@
+"""Schema'd benchmark run store: every bench invocation is a record.
+
+Each gated benchmark (``benchmarks/bench_*.py``) appends one
+:class:`RunRecord` per invocation to a JSON-lines history file under
+``benchmarks/runs/<bench>.jsonl``.  A record is the full provenance of
+one measurement: git hash, machine fingerprint (cpu count, platform,
+python/numpy versions), the bench's config **including its RNG seed**,
+per-metric wall-time *samples* (one per timing repeat, never just the
+min), the exact work counters pulled from the observability
+:class:`~repro.obs.MetricsRegistry`, and the legacy gate verdict.
+
+The history is what turns "regression" from *crossed a magic constant*
+into *statistically slower than the stored baseline with repeated
+samples* (see :mod:`repro.bench.platform.stat_tests` and
+:mod:`repro.bench.platform.report`).
+
+Format discipline mirrors :mod:`repro.graph.io`: malformed store lines
+raise :class:`~repro.errors.StoreFormatError` naming the file and the
+1-based line number, never an uncaught ``KeyError`` deep inside the
+report layer.  Records from older schema versions are upgraded on read
+(``_UPGRADERS``); records from *newer* schemas are a format error, not
+a silent partial parse.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "RunStore",
+    "machine_fingerprint",
+    "git_revision",
+    "new_run_id",
+]
+
+#: Current record schema.  Bump on any incompatible field change and
+#: add an upgrader so old histories keep reading.
+SCHEMA_VERSION = 1
+
+#: Fields every record must carry (any schema, post-upgrade).
+_REQUIRED = ("schema", "bench", "run_id", "timestamp", "config",
+             "samples", "machine")
+
+
+def machine_fingerprint() -> dict:
+    """Identify the measuring host: timings are only comparable between
+    runs whose fingerprints match (same cpu count, platform, python and
+    numpy versions)."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def git_revision(cwd: str | os.PathLike[str] | None = None) -> str | None:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    rev = out.stdout.strip()
+    return rev or None
+
+
+def new_run_id(bench: str) -> str:
+    """A unique, sortable-enough id: ``<bench>-<epoch_ms>-<uuid8>``."""
+    return f"{bench}-{int(time.time() * 1000)}-{uuid.uuid4().hex[:8]}"
+
+
+def _check_samples(samples: Any, where: str) -> dict[str, list[float]]:
+    if not isinstance(samples, dict) or not samples:
+        raise StoreFormatError(f"{where}: 'samples' must be a non-empty "
+                               f"dict of metric -> list of seconds")
+    out: dict[str, list[float]] = {}
+    for name, values in samples.items():
+        if not isinstance(name, str):
+            raise StoreFormatError(f"{where}: sample metric name {name!r} "
+                                   f"is not a string")
+        if not isinstance(values, (list, tuple)) or not values:
+            raise StoreFormatError(f"{where}: samples[{name!r}] must be a "
+                                   f"non-empty list")
+        vals = []
+        for v in values:
+            if isinstance(v, bool) or not isinstance(v, (int, float)) \
+                    or not math.isfinite(v):
+                raise StoreFormatError(
+                    f"{where}: samples[{name!r}] contains non-finite or "
+                    f"non-numeric value {v!r}"
+                )
+            vals.append(float(v))
+        out[name] = vals
+    return out
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One benchmark invocation, as stored in the history."""
+
+    bench: str
+    run_id: str
+    timestamp: float  # seconds since the epoch, UTC
+    config: dict
+    samples: dict[str, list[float]]
+    metrics: dict = field(default_factory=dict)
+    gate: dict | None = None
+    git_hash: str | None = None
+    machine: dict = field(default_factory=machine_fingerprint)
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def seed(self) -> int | None:
+        """The RNG seed this record's measurements were taken with."""
+        s = self.config.get("seed")
+        return int(s) if s is not None else None
+
+    def validate(self, where: str = "record") -> None:
+        """Raise :class:`StoreFormatError` unless this record is a
+        well-formed, storable measurement."""
+        if not self.bench or not isinstance(self.bench, str):
+            raise StoreFormatError(f"{where}: missing bench name")
+        if not self.run_id or not isinstance(self.run_id, str):
+            raise StoreFormatError(f"{where}: missing run_id")
+        if not isinstance(self.config, dict):
+            raise StoreFormatError(f"{where}: config must be a dict")
+        if self.config.get("seed") is None:
+            # Determinism contract: every stored measurement names the
+            # seed that produced its workload, so any record can be
+            # re-run bit-identically.
+            raise StoreFormatError(
+                f"{where}: config has no 'seed' — refusing to store a "
+                f"non-reproducible measurement"
+            )
+        _check_samples(self.samples, where)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": self.schema,
+            "bench": self.bench,
+            "run_id": self.run_id,
+            "timestamp": self.timestamp,
+            "git_hash": self.git_hash,
+            "machine": dict(self.machine),
+            "config": dict(self.config),
+            "samples": {k: list(v) for k, v in self.samples.items()},
+            "metrics": dict(self.metrics),
+            "gate": self.gate,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Any, *, where: str = "record") -> "RunRecord":
+        if not isinstance(obj, dict):
+            raise StoreFormatError(f"{where}: expected a JSON object, "
+                                   f"got {type(obj).__name__}")
+        schema = obj.get("schema")
+        if not isinstance(schema, int):
+            raise StoreFormatError(f"{where}: missing integer 'schema'")
+        if schema > SCHEMA_VERSION:
+            raise StoreFormatError(
+                f"{where}: record schema {schema} is newer than this "
+                f"reader (supports <= {SCHEMA_VERSION}); upgrade the code"
+            )
+        while schema < SCHEMA_VERSION:
+            upgrader = _UPGRADERS.get(schema)
+            if upgrader is None:
+                raise StoreFormatError(
+                    f"{where}: no upgrade path from schema {schema}"
+                )
+            obj = upgrader(dict(obj), where)
+            schema = obj["schema"]
+        missing = [k for k in _REQUIRED if k not in obj]
+        if missing:
+            raise StoreFormatError(f"{where}: missing fields {missing}")
+        rec = cls(
+            bench=obj["bench"],
+            run_id=obj["run_id"],
+            timestamp=float(obj["timestamp"]),
+            config=obj["config"],
+            samples=_check_samples(obj["samples"], where),
+            metrics=obj.get("metrics") or {},
+            gate=obj.get("gate"),
+            git_hash=obj.get("git_hash"),
+            machine=obj["machine"],
+            schema=SCHEMA_VERSION,
+        )
+        rec.validate(where)
+        return rec
+
+
+def _upgrade_v0(obj: dict, where: str) -> dict:
+    """Schema 0 (pre-release) stored per-metric timings under
+    ``"timings"`` and had no machine fingerprint."""
+    if "timings" in obj and "samples" not in obj:
+        obj["samples"] = obj.pop("timings")
+    obj.setdefault("machine", {})
+    obj["schema"] = 1
+    return obj
+
+
+_UPGRADERS = {0: _upgrade_v0}
+
+
+class RunStore:
+    """Append-only JSON-lines history under one directory.
+
+    One file per bench (``<root>/<bench>.jsonl``), one record per line.
+    Reads are strict: a corrupt line is a
+    :class:`~repro.errors.StoreFormatError` naming file and line, so a
+    truncated write or hand-edit fails loudly at the parse site.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, bench: str) -> Path:
+        if not bench or "/" in bench or bench.startswith("."):
+            raise StoreFormatError(f"invalid bench name {bench!r}")
+        return self.root / f"{bench}.jsonl"
+
+    def benches(self) -> list[str]:
+        """Bench names with at least one stored record."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def append(self, record: RunRecord) -> Path:
+        """Validate and append one record; returns the history path."""
+        record.validate(f"append({record.bench})")
+        path = self.path_for(record.bench)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        return path
+
+    def read(self, bench: str) -> list[RunRecord]:
+        """All records for ``bench`` in append order (oldest first)."""
+        path = self.path_for(bench)
+        if not path.exists():
+            return []
+        records: list[RunRecord] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{path}: line {lineno}"
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StoreFormatError(
+                        f"{where}: invalid JSON ({exc.msg})"
+                    ) from exc
+                records.append(RunRecord.from_json(obj, where=where))
+        return records
+
+    def latest(self, bench: str) -> RunRecord | None:
+        records = self.read(bench)
+        return records[-1] if records else None
+
+    def get(self, bench: str, run_id: str) -> RunRecord | None:
+        for rec in self.read(bench):
+            if rec.run_id == run_id:
+                return rec
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RunStore {self.root} benches={self.benches()}>"

@@ -9,6 +9,8 @@ Commands
 ``report``    regenerate EXPERIMENTS.md
 ``figures``   render every paper figure as SVG
 ``validate``  graph health report (invariants, degeneracy, components)
+``bench``     benchmark run store: run, compare, promote baselines
+              (see docs/benchmarking.md)
 
 Examples::
 
@@ -149,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate", help="graph health report")
     add_graph_source(p_val)
+
+    from repro.bench.platform.cli import add_bench_parser
+
+    add_bench_parser(sub)
     return parser
 
 
@@ -407,6 +413,12 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.platform.cli import cmd_bench
+
+    return cmd_bench(args)
+
+
 def _setup_observability(args):
     """Enable the obs layer per the global flags; returns a finisher
     callable that flushes outputs (runs even when the command fails, so
@@ -446,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "figures": _cmd_figures,
         "validate": _cmd_validate,
+        "bench": _cmd_bench,
     }
     finish = _setup_observability(args)
     try:

@@ -23,6 +23,7 @@ __all__ = [
     "ParallelModelError",
     "DatasetError",
     "TraceFormatError",
+    "StoreFormatError",
     "BudgetExceededError",
     "DeadlineExceededError",
     "NodeBudgetExceededError",
@@ -65,6 +66,15 @@ class TraceFormatError(ReproError):
     Carries the 1-based line number in the message, mirroring
     :class:`GraphFormatError`'s discipline for graph inputs
     (see :func:`repro.obs.parse_trace_lines`).
+    """
+
+
+class StoreFormatError(ReproError):
+    """Raised when a benchmark run-store file is malformed.
+
+    Carries the file path and 1-based line number in the message,
+    mirroring :class:`GraphFormatError`'s discipline for graph inputs
+    (see :mod:`repro.bench.platform.store`).
     """
 
 

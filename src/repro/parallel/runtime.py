@@ -313,7 +313,9 @@ class ParallelRuntime:
         Worker count; defaults to ``os.cpu_count()``.
     start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"``; defaults to
-        ``fork`` where available (cheap workers), else ``spawn``.
+        ``$REPRO_START_METHOD`` if set (how CI sweeps the whole suite
+        under each method), else ``fork`` where available (cheap
+        workers), else ``spawn``.
     """
 
     def __init__(
@@ -323,6 +325,8 @@ class ParallelRuntime:
             raise ParallelModelError("processes must be >= 1")
         self.processes = processes or os.cpu_count() or 1
         methods = get_all_start_methods()
+        if start_method is None:
+            start_method = os.environ.get("REPRO_START_METHOD") or None
         if start_method is None:
             start_method = "fork" if "fork" in methods else "spawn"
         elif start_method not in methods:

@@ -85,6 +85,7 @@ def test_corpus_spawn_matches_serial(rt_spawn):
         assert got == serial, name
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("procs", (1, 2, 4))
 def test_process_count_sweep(procs):
     for idx in SUBSET[:3]:

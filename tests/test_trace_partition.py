@@ -101,6 +101,7 @@ def test_edge_split_leaves_light_roots_alone():
     assert p.num_tasks == 10
 
 
+@pytest.mark.slow
 def test_edge_split_improves_livejournal_makespan():
     """The GPU-Pivot-style split tames the analog's pocket root."""
     from repro.counting import count_kcliques
