@@ -1,0 +1,204 @@
+"""Out-of-core shard runtime benchmark (correctness-gated, stored).
+
+Exercises the crash-safe shard runtime end to end and times its
+overhead against the in-memory serial engine on the same graph:
+
+* **exactness gate** (hard): the sharded count — watermark far below
+  the working set, so the run genuinely spills — must equal serial,
+  and so must a run with *each* injected I/O fault kind (partial
+  write, corrupt read, ENOSPC) absorbed by quarantine + retry, and a
+  resume after a kill at a shard boundary;
+* **overhead gate** (hard): the sharded wall time must stay within
+  ``SLOWDOWN_GATE``x serial — spilling costs real I/O (on smoke-sized
+  graphs it can exceed the counting itself), but planning + slicing +
+  checksumming must never turn into a pathological multiple;
+* **statistical gate**: raw samples land in the PR 6 run store via
+  ``store_and_check``, which compares against the stored baseline.
+
+Usage::
+
+    python benchmarks/bench_shard.py           # full mode
+    python benchmarks/bench_shard.py --smoke   # CI: smaller graph
+"""
+
+import argparse
+import shutil
+import sys
+import tempfile
+
+from repro import obs
+from repro.bench.harness import Table, fmt_seconds, time_samples, write_json_artifact
+from repro.bench.platform import add_store_args, store_and_check
+from repro.counting.sct import SCTEngine
+from repro.errors import RunInterrupted
+from repro.graph.generators import erdos_renyi
+from repro.ordering import core_ordering, directionalize
+from repro.runtime import FaultPlan, FaultSpec, RunController
+from repro.shard import count_sharded, plan_shards
+
+#: Sharded wall must stay within this multiple of the serial engine.
+SLOWDOWN_GATE = 4.0
+#: Watermark divisor: shard_bytes = total estimate / this, forcing a
+#: multi-shard plan without degenerating to one shard per root.
+SPILL_FACTOR = 12
+
+FAULT_KINDS = ("io_partial_write", "io_corrupt_read", "io_enospc")
+
+
+def _sharded(g, dag, k, spill_dir, shard_bytes, **kw):
+    return count_sharded(
+        g, dag, k=k, shard_bytes=shard_bytes, spill_dir=spill_dir, **kw
+    )
+
+
+def run_shard_bench(*, n, p, k, seed, repeats, out_path, store_args=None):
+    g = erdos_renyi(n, p, seed=seed)
+    dag = directionalize(g, core_ordering(g))
+    engine = SCTEngine(g, dag)
+
+    with obs.collecting() as registry:
+        serial_result = engine.count(k)
+
+    from repro.shard.planner import estimate_root_bytes
+
+    shard_bytes = max(512, int(estimate_root_bytes(g, dag).sum()) // SPILL_FACTOR)
+    work = tempfile.mkdtemp(prefix="bench_shard_")
+    try:
+        plan = plan_shards(g, dag, shard_bytes=shard_bytes)
+
+        # -------- correctness gates (a fast wrong answer is still wrong)
+        res = _sharded(g, dag, k, f"{work}/clean", shard_bytes)
+        exact = res.count == serial_result.count
+        fault_exact = {}
+        for kind in FAULT_KINDS:
+            r = _sharded(
+                g, dag, k, f"{work}/{kind}", shard_bytes,
+                faults=FaultPlan(FaultSpec(kind, at_op=3)),
+            )
+            fault_exact[kind] = (
+                r.count == serial_result.count and r.degraded_from is None
+            )
+        # kill at a mid-run shard boundary, then resume
+        kill_at = max(2, plan.num_shards // 2)
+        try:
+            _sharded(
+                g, dag, k, f"{work}/resume", shard_bytes,
+                controller=RunController(
+                    faults=FaultPlan(FaultSpec("interrupt", at_op=kill_at)),
+                ),
+            )
+            resume_exact = False  # the kill must actually happen
+        except RunInterrupted:
+            r = _sharded(g, dag, k, f"{work}/resume", shard_bytes, resume=True)
+            resume_exact = r.count == serial_result.count
+        correct = exact and resume_exact and all(fault_exact.values())
+
+        # -------- timing
+        serial_samples = time_samples(
+            lambda: engine.count(k), number=1, repeats=repeats)
+        run = [0]
+
+        def timed_shard():
+            run[0] += 1
+            d = f"{work}/t{run[0]}"
+            try:
+                _sharded(g, dag, k, d, shard_bytes)
+            finally:
+                shutil.rmtree(d, ignore_errors=True)
+
+        shard_samples = time_samples(timed_shard, number=1, repeats=repeats)
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    serial_s = min(serial_samples)
+    shard_s = min(shard_samples)
+    slowdown = shard_s / serial_s
+    overhead_pass = slowdown <= SLOWDOWN_GATE
+    gate_pass = correct and overhead_pass
+
+    t = Table(
+        title=f"sharded vs in-memory SCT (n={n}, p={p}, k={k}, "
+              f"{plan.num_shards} shards)",
+        columns=["variant", "wall", "vs serial"],
+    )
+    t.add("serial", fmt_seconds(serial_s), "1.00x")
+    t.add(f"sharded({plan.num_shards})", fmt_seconds(shard_s),
+          f"{serial_s / shard_s:.2f}x")
+    t.note(
+        f"exact={exact} resume={resume_exact} "
+        + " ".join(f"{kind}={ok}" for kind, ok in fault_exact.items())
+        + f"; slowdown {slowdown:.2f}x (gate <= {SLOWDOWN_GATE:.1f}x) "
+          f"-> {'PASS' if gate_pass else 'FAIL'}"
+    )
+    t.show()
+
+    payload = {
+        "bench": "shard",
+        "config": {
+            "n": n, "p": p, "k": k, "seed": seed,
+            "shard_bytes": shard_bytes, "num_shards": plan.num_shards,
+            "repeats": repeats,
+        },
+        "count": serial_result.count,
+        "serial_s": serial_s,
+        "sharded_s": shard_s,
+        "slowdown": round(slowdown, 4),
+        "gate": {
+            "exact": exact,
+            "resume_exact": resume_exact,
+            "fault_exact": fault_exact,
+            "slowdown_threshold": SLOWDOWN_GATE,
+            "overhead_pass": overhead_pass,
+            "pass": gate_pass,
+        },
+    }
+    artifact = write_json_artifact(out_path, payload)
+    print(f"wrote {artifact}")
+
+    store_samples = {
+        "serial_s": serial_samples,
+        "sharded_s": shard_samples,
+        "overhead_ratio": [
+            q / s for q, s in zip(shard_samples, serial_samples)
+        ],
+    }
+    _, comparison, store_rc = store_and_check(
+        "shard", payload, store_samples, seed=seed, args=store_args,
+        registry=registry,
+    )
+    payload["store_result"] = {
+        "regressed": bool(comparison.regressed) if comparison else False,
+        "exit": store_rc,
+    }
+    return payload
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="out-of-core shard runtime exactness/overhead gate")
+    ap.add_argument("--smoke", action="store_true",
+                    help="smaller graph, fewer repeats (CI)")
+    ap.add_argument("--out", default="BENCH_shard.json",
+                    help="JSON artifact path (default: %(default)s)")
+    ap.add_argument("--k", type=int, default=6,
+                    help="clique size (default: %(default)s)")
+    ap.add_argument("--seed", type=int, default=17)
+    add_store_args(ap)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        cfg = dict(n=200, p=0.25, k=min(args.k, 5), repeats=2)
+    else:
+        cfg = dict(n=350, p=0.22, k=args.k, repeats=3)
+
+    payload = run_shard_bench(
+        seed=args.seed, out_path=args.out, store_args=args, **cfg,
+    )
+    if not payload["gate"]["pass"]:
+        print("FAIL: shard runtime missed its gate", file=sys.stderr)
+        return 1
+    return payload["store_result"]["exit"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

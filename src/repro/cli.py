@@ -97,10 +97,25 @@ def build_parser() -> argparse.ArgumentParser:
         grp.add_argument("--checkpoint", default=None, metavar="PATH",
                          help="write per-root progress to a JSON checkpoint")
         grp.add_argument("--resume", action="store_true",
-                         help="resume from --checkpoint (bit-identical)")
+                         help="resume from --checkpoint, or from the "
+                              "shard ledger under --spill-dir when "
+                              "--shard-mb is set (bit-identical)")
         grp.add_argument("--degrade", action="store_true",
                          help="on budget exhaustion, return a flagged "
                               "sampling estimate instead of failing")
+
+    def add_sharding(p: argparse.ArgumentParser) -> None:
+        grp = p.add_argument_group(
+            "out-of-core sharding (see docs/sharding.md)"
+        )
+        grp.add_argument("--shard-mb", type=float, default=None,
+                         metavar="MIB",
+                         help="count out-of-core through the crash-safe "
+                              "shard runtime, keeping each shard's "
+                              "spilled CSR slice under this watermark")
+        grp.add_argument("--spill-dir", default=None, metavar="DIR",
+                         help="directory for shard spill files and the "
+                              "resume ledger (required with --shard-mb)")
 
     p_count = sub.add_parser("count", help="count k-cliques")
     add_graph_source(p_count)
@@ -125,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel(p_count)
     add_forest(p_count)
     add_resilience(p_count)
+    add_sharding(p_count)
 
     p_dist = sub.add_parser("dist", help="clique-size distribution")
     add_graph_source(p_dist)
@@ -136,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_parallel(p_dist)
     add_forest(p_dist)
     add_resilience(p_dist)
+    add_sharding(p_dist)
 
     sub.add_parser("datasets", help="list dataset analogs")
 
@@ -176,6 +193,8 @@ def _resilience_kwargs(args) -> dict:
         "checkpoint_path": args.checkpoint,
         "resume": args.resume,
         "degrade": args.degrade,
+        "shard_mb": args.shard_mb,
+        "spill_dir": args.spill_dir,
     }
 
 
@@ -204,13 +223,17 @@ def _cmd_count(args) -> int:
 
     if cfg.forest == "use":
         # Serve every query from a previously materialized forest —
-        # no recursion at all.
-        from repro.counting.forest import load_forest
+        # no recursion at all.  A corrupt .npz is quarantined and the
+        # forest rebuilt from the graph (see docs/robustness.md).
+        from repro.counting.forest import load_or_rebuild_forest
 
-        forest = load_forest(cfg.forest_path, g)
+        forest, rebuilt = load_or_rebuild_forest(
+            cfg.forest_path, g, structure=cfg.structure, kernel=cfg.kernel
+        )
+        origin = ("rebuilt; corrupt file quarantined"
+                  if rebuilt else f"loaded from {cfg.forest_path}")
         print(f"graph: {g}")
-        print(f"forest: {forest.num_leaves:,} leaves "
-              f"(loaded from {cfg.forest_path})")
+        print(f"forest: {forest.num_leaves:,} leaves ({origin})")
         print(f"{args.k}-cliques: {forest.count(args.k):,}")
         if args.per_vertex:
             _print_top_per_vertex(forest.per_vertex(args.k))
@@ -276,10 +299,13 @@ def _cmd_dist(args) -> int:
         # The whole distribution is one Pascal-row fold over the
         # materialized leaves.
         if cfg.forest == "use":
-            from repro.counting.forest import load_forest
+            from repro.counting.forest import load_or_rebuild_forest
 
-            forest = load_forest(cfg.forest_path, g)
-            origin = f"loaded from {cfg.forest_path}"
+            forest, rebuilt = load_or_rebuild_forest(
+                cfg.forest_path, g, kernel=args.kernel, controller=ctl
+            )
+            origin = ("rebuilt; corrupt file quarantined"
+                      if rebuilt else f"loaded from {cfg.forest_path}")
         else:
             from repro.counting.forest import get_forest
 
@@ -301,7 +327,17 @@ def _cmd_dist(args) -> int:
     procs = cfg.processes or 1
     engine = SCTEngine(g, core_ordering(g), kernel=args.kernel)
     try:
-        if procs > 1:
+        if cfg.shard_mb is not None:
+            from repro.shard import count_sharded
+
+            r = count_sharded(
+                g, engine.dag, max_k=args.max_k, kernel=args.kernel,
+                shard_mb=cfg.shard_mb, spill_dir=cfg.spill_dir,
+                resume=cfg.resume, controller=ctl, degrade=cfg.degrade,
+                processes=procs, chunks_per_process=cfg.par_chunks,
+                max_retries=cfg.shard_retries,
+            )
+        elif procs > 1:
             from repro.parallel.pool import count_all_sizes_processes
 
             r = count_all_sizes_processes(

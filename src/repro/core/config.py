@@ -87,6 +87,23 @@ class PivotScaleConfig:
     forest_path:
         Where ``forest="build"`` saves / ``forest="use"`` loads the
         ``.npz`` forest (next to checkpoints).
+    shard_mb:
+        Out-of-core watermark in MiB.  When set, counting runs through
+        the crash-safe shard runtime (:mod:`repro.shard`): the root
+        range is cut into vertex shards whose estimated CSR-slice
+        footprint fits under the watermark, each shard streams from
+        mmap-backed spill files under ``spill_dir``, and completed
+        shards are recorded in a ledger so a killed run resumes
+        bit-identically (``resume=True`` works *without* a
+        ``checkpoint_path`` in this mode — the ledger is the resume
+        mechanism).  Counts are bit-identical to the in-memory path.
+    spill_dir:
+        Directory for shard spill files and the ledger; required when
+        ``shard_mb`` is set.
+    shard_retries:
+        Bounded retries per failed shard (respill + recount with
+        seeded exponential backoff) before the degradation ladder
+        engages (default 3).
     """
 
     structure: str = "remap"
@@ -108,6 +125,9 @@ class PivotScaleConfig:
     checkpoint_every: int = 64
     forest: str = "auto"
     forest_path: str | None = None
+    shard_mb: float | None = None
+    spill_dir: str | None = None
+    shard_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.structure not in ("dense", "sparse", "remap"):
@@ -131,8 +151,21 @@ class PivotScaleConfig:
             max_nodes=self.max_nodes,
             max_memory_bytes=self.max_memory_bytes,
         )
-        if self.resume and self.checkpoint_path is None:
-            raise CountingError("resume=True requires a checkpoint_path")
+        if (
+            self.resume
+            and self.checkpoint_path is None
+            and self.shard_mb is None
+        ):
+            raise CountingError(
+                "resume=True requires a checkpoint_path (or shard_mb, "
+                "where the shard ledger is the resume mechanism)"
+            )
+        if self.shard_mb is not None and self.shard_mb <= 0:
+            raise CountingError("shard_mb must be > 0")
+        if self.shard_mb is not None and self.spill_dir is None:
+            raise CountingError("shard_mb requires a spill_dir")
+        if self.shard_retries < 0:
+            raise CountingError("shard_retries must be >= 0")
         if self.checkpoint_every < 1:
             raise CountingError("checkpoint_every must be >= 1")
         if self.forest not in ("auto", "build", "use", "off"):
@@ -165,7 +198,10 @@ class PivotScaleConfig:
         return RunController(
             self.budget,
             checkpoint_path=self.checkpoint_path,
-            resume=self.resume,
+            # In shard mode resume may be set without a checkpoint_path
+            # (the shard ledger is the resume mechanism); the controller
+            # itself only resumes from a JSON checkpoint.
+            resume=self.resume and self.checkpoint_path is not None,
             degrade=self.degrade,
             faults=faults,
             clock=clock,

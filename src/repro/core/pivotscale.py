@@ -84,7 +84,19 @@ def _run(
         procs = config.processes or 1
         wall0 = time.perf_counter()
         try:
-            if procs > 1:
+            if config.shard_mb is not None:
+                from repro.shard import count_sharded
+
+                counting = count_sharded(
+                    g, dag, k=k, max_k=max_k,
+                    structure=config.structure, kernel=config.kernel,
+                    shard_mb=config.shard_mb, spill_dir=config.spill_dir,
+                    resume=config.resume, controller=ctl,
+                    degrade=config.degrade, processes=procs,
+                    chunks_per_process=config.par_chunks,
+                    max_retries=config.shard_retries,
+                )
+            elif procs > 1:
                 from repro.parallel.pool import (
                     count_all_sizes_processes,
                     count_kcliques_processes,

@@ -50,8 +50,12 @@ leaves are recorded, not expanded into binomial rows.
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import warnings
+import zipfile
+import zlib
 from collections import OrderedDict
 from contextlib import nullcontext
 
@@ -64,6 +68,8 @@ from repro.counting.structures import STRUCTURES, SubgraphStructure
 from repro.errors import (
     CheckpointError,
     CountingError,
+    DegradedResultWarning,
+    ForestFormatError,
     KernelFaultError,
     MemoryBudgetExceededError,
 )
@@ -79,6 +85,7 @@ __all__ = [
     "build_forest",
     "get_forest",
     "load_forest",
+    "load_or_rebuild_forest",
     "forest_cache_key",
     "clear_forest_cache",
     "collect_root_leaves",
@@ -674,8 +681,15 @@ class SCTForest:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | os.PathLike[str]) -> None:
-        """Write the forest to ``path`` as a compressed ``.npz``."""
+    def save(self, path: str | os.PathLike[str], *, faults=None) -> None:
+        """Write the forest to ``path`` as a compressed ``.npz``.
+
+        The write goes through :mod:`repro.shard.safeio` (temp file +
+        fsync + rename), so a crash mid-save leaves the previous
+        artifact intact; ``faults`` threads an I/O
+        :class:`~repro.runtime.faults.FaultPlan` into the write for
+        fault-injection tests.
+        """
         meta = {
             "format_version": FOREST_FORMAT_VERSION,
             "num_vertices": self.num_vertices,
@@ -697,11 +711,12 @@ class SCTForest:
         if self.has_members:
             arrays["held_members"] = self.held_members
             arrays["pivot_members"] = self.pivot_members
-        tmp = f"{os.fspath(path)}.tmp"
+        from repro.shard import safeio
+
+        buf = io.BytesIO()
         try:
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(fh, **arrays)
-            os.replace(tmp, path)
+            np.savez_compressed(buf, **arrays)
+            safeio.atomic_write_bytes(path, buf.getvalue(), faults=faults)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot write forest {path}: {exc}"
@@ -719,6 +734,16 @@ class SCTForest:
         exactly (same graph/DAG fingerprints, structure, kernel) —
         serving queries from the wrong graph's forest would silently
         return wrong counts.
+
+        A truncated or corrupt file (bad zip container, damaged
+        deflate stream, unreadable metadata) raises
+        :class:`~repro.errors.ForestFormatError` naming the path, after
+        quarantining the file as ``<path>.corrupt`` so a rebuild can
+        re-save under the original name; a *missing* file or an
+        identity/version mismatch raises plain
+        :class:`~repro.errors.CheckpointError` and leaves the file
+        alone (it is not damaged, just not the artifact this run
+        needs).
         """
         try:
             with np.load(path) as data:
@@ -756,10 +781,25 @@ class SCTForest:
                     descriptor=stored,
                     degraded_from=meta.get("degraded_from"),
                 )
-        except OSError as exc:
+        except FileNotFoundError as exc:
             raise CheckpointError(f"cannot read forest {path}: {exc}") from exc
-        except (KeyError, ValueError) as exc:
-            raise CheckpointError(f"corrupt forest {path}: {exc}") from exc
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as exc:
+            # np.load on a truncated/bit-rotted .npz surfaces any of
+            # these raw container errors; quarantine and raise typed.
+            from repro.shard import safeio
+
+            quarantined = safeio.quarantine(path)
+            raise ForestFormatError(
+                f"corrupt forest {path}: {type(exc).__name__}: {exc} "
+                f"(quarantined to {quarantined})"
+            ) from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -945,3 +985,45 @@ def load_forest(
     if graph is not None:
         expect = {"graph_fingerprint": graph_fingerprint(graph)}
     return SCTForest.load(path, expect_descriptor=expect)
+
+
+def load_or_rebuild_forest(
+    path: str | os.PathLike[str],
+    graph: CSRGraph,
+    ordering: Ordering | np.ndarray | CSRGraph | None = None,
+    structure: str = "remap",
+    kernel: str | BitsetKernel | None = None,
+    *,
+    controller: RunController | None = None,
+) -> tuple[SCTForest, bool]:
+    """Load ``path``, or rebuild from ``graph`` if the file is corrupt.
+
+    Returns ``(forest, rebuilt)``.  Only the *corrupt-artifact* case
+    (:class:`~repro.errors.ForestFormatError` — the load already
+    quarantined the file) falls back to a rebuild; a missing file or an
+    identity mismatch still raises, since rebuilding would silently
+    paper over pointing a run at the wrong artifact.  The rebuilt
+    forest is re-saved under the original name (best-effort) to heal
+    the artifact for the next run.  ``ordering`` defaults to the
+    degeneracy core ordering — the same default the CLI uses to build
+    forests in the first place.
+    """
+    try:
+        return load_forest(path, graph), False
+    except ForestFormatError as exc:
+        warnings.warn(
+            f"rebuilding forest: {exc}", DegradedResultWarning, stacklevel=2
+        )
+        obs.degradation("forest_rebuild", path=os.fspath(path))
+        if ordering is None:
+            from repro.ordering.core import core_ordering
+
+            ordering = core_ordering(graph)
+        forest = get_forest(
+            graph, ordering, structure, kernel, controller=controller
+        )
+        try:
+            forest.save(path)
+        except CheckpointError:
+            pass  # healing is best-effort; the in-memory forest serves
+        return forest, True

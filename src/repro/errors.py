@@ -29,9 +29,12 @@ __all__ = [
     "NodeBudgetExceededError",
     "MemoryBudgetExceededError",
     "CheckpointError",
+    "ForestFormatError",
+    "IOIntegrityError",
     "KernelFaultError",
     "RunInterrupted",
     "WorkerCrashError",
+    "ShardError",
     "DegradedResultWarning",
 ]
 
@@ -114,6 +117,34 @@ class CheckpointError(ReproError):
     resumed, or cannot be written."""
 
 
+class ForestFormatError(CheckpointError):
+    """A persisted SCT forest ``.npz`` is truncated or corrupt.
+
+    Subclasses :class:`CheckpointError` so existing callers that treat
+    any unloadable forest as a checkpoint failure keep working; carries
+    the offending path in the message, and the loader quarantines the
+    file (renames it ``<path>.corrupt``) before raising so a rebuild
+    can re-save under the original name (see
+    :func:`repro.counting.forest.load_or_rebuild_forest`).
+    """
+
+
+class IOIntegrityError(ReproError):
+    """A persisted artifact failed checksum verification on read.
+
+    Raised by :mod:`repro.shard.safeio` when a spill file, ledger line
+    or checkpoint does not hash to its recorded content checksum —
+    a torn write, bit-rot, or injected corruption.  Carries the
+    offending path as ``path`` (and the quarantined name as
+    ``quarantined`` when the caller moved it aside).
+    """
+
+    def __init__(self, message: str, path=None, quarantined=None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.quarantined = quarantined
+
+
 class KernelFaultError(ReproError):
     """A bitset-kernel backend failed mid-run.
 
@@ -141,6 +172,17 @@ class WorkerCrashError(ReproError):
     ``bigint`` reference backend instead of raising — the result stays
     exact and is flagged via ``degraded_from`` (see
     :mod:`repro.parallel.runtime`).
+    """
+
+
+class ShardError(ReproError):
+    """An out-of-core shard could not be counted.
+
+    Raised by :mod:`repro.shard` after the bounded retry loop (respill,
+    re-verify, recount with seeded exponential backoff) is exhausted
+    and degradation is not enabled.  With ``degrade=True`` the shard is
+    instead recounted exactly from the resident graph and the result is
+    flagged ``degraded_from="shard"``.
     """
 
 

@@ -93,6 +93,9 @@ def count_kcliques_processes(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ):
     """Count k-cliques using a pool of worker processes.
 
@@ -133,7 +136,18 @@ def count_kcliques_processes(
     fault_chunks:
         Chunk ids forced to fail in the worker — deterministic fault
         injection for tests/CI, the parallel analog of
-        :class:`~repro.runtime.faults.FaultPlan`.
+        :class:`~repro.runtime.faults.FaultPlan`.  A set/sequence means
+        the chunk crashes on every attempt; a ``{chunk_id: fail_count}``
+        mapping makes the crash transient (recovered by retries).
+    worker_retries:
+        Pool resubmissions of a crashed chunk before the degradation
+        rung engages (default 2); retries that succeed keep the result
+        exact and unflagged, metered by ``runtime_worker_retries``.
+    retry_backoff:
+        Base seconds for seeded exponential backoff between retries
+        (default 0.0: no sleeping, as tests and CI want); the jitter is
+        drawn from ``retry_seed`` and the chunk id, so delays are
+        deterministic.
     """
     if k < 1:
         raise CountingError(f"clique size k must be >= 1, got {k}")
@@ -151,7 +165,8 @@ def count_kcliques_processes(
         processes=procs, chunks_per_process=chunks_per_process,
         controller=controller, collect_metrics=collect_metrics,
         degrade=degrade, runtime=runtime, start_method=start_method,
-        fault_chunks=fault_chunks,
+        fault_chunks=fault_chunks, worker_retries=worker_retries,
+        retry_backoff=retry_backoff, retry_seed=retry_seed,
     )
 
 
@@ -170,6 +185,9 @@ def count_all_sizes_processes(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ):
     """Count cliques of every size with worker processes (the paper's
     Fig. 1 distribution) — the all-k analog of
@@ -191,7 +209,8 @@ def count_all_sizes_processes(
         processes=procs, chunks_per_process=chunks_per_process,
         controller=controller, collect_metrics=collect_metrics,
         degrade=degrade, runtime=runtime, start_method=start_method,
-        fault_chunks=fault_chunks,
+        fault_chunks=fault_chunks, worker_retries=worker_retries,
+        retry_backoff=retry_backoff, retry_seed=retry_seed,
     )
 
 
@@ -210,6 +229,9 @@ def per_vertex_counts_processes(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ) -> list[int]:
     """Per-vertex k-clique counts with worker processes (exact ints,
     identical to :func:`repro.counting.pervertex.per_vertex_counts`)."""
@@ -229,7 +251,8 @@ def per_vertex_counts_processes(
         processes=procs, chunks_per_process=chunks_per_process,
         controller=controller, collect_metrics=collect_metrics,
         degrade=degrade, runtime=runtime, start_method=start_method,
-        fault_chunks=fault_chunks,
+        fault_chunks=fault_chunks, worker_retries=worker_retries,
+        retry_backoff=retry_backoff, retry_seed=retry_seed,
     )
 
 
@@ -248,6 +271,9 @@ def build_forest_processes(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ):
     """Materialize an :class:`~repro.counting.forest.SCTForest` with
     worker processes.  The reassembled arrays are bit-identical to a
@@ -269,4 +295,6 @@ def build_forest_processes(
         members=members, controller=controller,
         collect_metrics=collect_metrics, degrade=degrade, runtime=runtime,
         start_method=start_method, fault_chunks=fault_chunks,
+        worker_retries=worker_retries, retry_backoff=retry_backoff,
+        retry_seed=retry_seed,
     )

@@ -27,12 +27,22 @@ EPYC:
   worker metrics registries are snapshotted per task and merged into
   the parent (:meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`)
   so ``engine_*``/``kernel_*`` counter totals stay exact.
-* **Worker-crash degradation.**  Workers report failures as data
+* **Worker-crash resilience.**  Workers report failures as data
   (never as a raised exception through the pool), so the parent knows
-  which chunk died.  With degradation enabled the failed chunk re-runs
-  in-process on the ``bigint`` reference backend — the result stays
-  exact, flagged ``degraded_from="worker"``; without it a
-  :class:`~repro.errors.WorkerCrashError` propagates.
+  which chunk died.  A failed chunk is first *resubmitted to the pool*
+  up to ``worker_retries`` times with seeded exponential backoff
+  (deterministic jitter, so CI runs are reproducible) — a transient
+  crash recovers with no loss of exactness and no degradation flag,
+  metered by the ``runtime_worker_retries`` registry counter.  Only
+  when retries are exhausted does the degradation rung engage: with
+  degradation enabled the chunk re-runs in-process on the ``bigint``
+  reference backend — the result stays exact, flagged
+  ``degraded_from="worker"``; without it a
+  :class:`~repro.errors.WorkerCrashError` propagates.  Fault injection
+  mirrors both shapes: ``fault_chunks`` accepts a set of chunk ids
+  (persistent crashes) or a ``{chunk_id: fail_count}`` mapping
+  (transient — the chunk crashes on its first ``fail_count`` attempts
+  and then succeeds).
 
 Counts are bit-identical to the serial engines by construction: the
 SCT total is a sum over roots, chunk results are exact partial sums
@@ -41,7 +51,10 @@ over disjoint root sets, and integer folds are order-independent.
 
 from __future__ import annotations
 
+import math
 import os
+import random
+import time
 from collections import OrderedDict
 from contextlib import contextmanager, nullcontext
 from multiprocessing import get_all_start_methods, get_context
@@ -76,7 +89,10 @@ __all__ = [
 # chunk planning (degree-descending guided self-scheduling)
 # ----------------------------------------------------------------------
 def plan_chunks(
-    degrees: np.ndarray, processes: int, chunks_per_process: int = 4
+    degrees: np.ndarray,
+    processes: int,
+    chunks_per_process: int = 4,
+    roots: np.ndarray | None = None,
 ) -> list[np.ndarray]:
     """Partition root vertices into size-aware chunks.
 
@@ -89,7 +105,19 @@ def plan_chunks(
     distribution is spread thinly across early chunks while the light
     tail batches up.  Every chunk is non-empty and every root appears
     exactly once.
+
+    ``roots`` restricts planning to a subset of vertex ids (the shard
+    executor schedules one shard's root range at a time); ``degrees``
+    stays indexed by vertex id.
     """
+    if roots is not None:
+        roots = np.asarray(roots, dtype=np.int64)
+        sub = plan_chunks(
+            np.asarray(degrees, dtype=np.int64)[roots],
+            processes,
+            chunks_per_process,
+        )
+        return [roots[c] for c in sub]
     if processes < 1:
         raise ParallelModelError("processes must be >= 1")
     if chunks_per_process < 1:
@@ -381,6 +409,20 @@ def _pool_for(
             yield rt
 
 
+def _normalize_fault_chunks(fault_chunks) -> dict[int, float]:
+    """Injected-crash schedule as ``{chunk_id: fail_count}``.
+
+    A bare iterable of chunk ids means "crashes forever" (the PR 5
+    shape); a mapping bounds the crashes, so a chunk with
+    ``fail_count=1`` dies on its first attempt and succeeds on the
+    first retry — the transient-fault case the bounded retry loop
+    exists for.
+    """
+    if isinstance(fault_chunks, dict):
+        return {int(c): float(f) for c, f in fault_chunks.items()}
+    return {int(c): math.inf for c in fault_chunks}
+
+
 def _build_tasks(
     chunks: list[np.ndarray],
     pending: list[int],
@@ -393,7 +435,7 @@ def _build_tasks(
     fault_chunks,
     **extra,
 ) -> list[dict]:
-    fault_chunks = frozenset(fault_chunks)
+    fault_counts = _normalize_fault_chunks(fault_chunks)
     tasks = []
     for cid in pending:
         task = {
@@ -405,7 +447,7 @@ def _build_tasks(
             "kernel": kernel_name,
             "metrics": metrics,
         }
-        if cid in fault_chunks:
+        if fault_counts.get(cid, 0) >= 1:
             task["crash"] = True
         task.update(extra)
         tasks.append(task)
@@ -434,6 +476,70 @@ def _retry_in_process(
     return payload
 
 
+_sleep = time.sleep  # monkeypatch seam for backoff tests
+
+
+def _retry_delay(rng: random.Random, attempt: int, backoff: float) -> float:
+    """Seeded exponential backoff with jitter: ``backoff * 2^(a-1)``
+    scaled by a uniform factor in [0.5, 1.5).  The jitter stream is
+    advanced even when ``backoff == 0`` so enabling sleeps never
+    changes which delays a given (seed, chunk) pair draws."""
+    jitter = 0.5 + rng.random()
+    return backoff * (2.0 ** (attempt - 1)) * jitter
+
+
+def _resolve_failure(
+    rt: "ParallelRuntime",
+    graph: CSRGraph,
+    dag: CSRGraph,
+    task: dict,
+    error: str,
+    *,
+    fault_counts: dict[int, float],
+    worker_retries: int,
+    retry_backoff: float,
+    retry_seed: int,
+    allow_degrade: bool,
+) -> dict:
+    """Recover a crashed chunk: bounded pool retries, then degrade.
+
+    Resubmits the chunk to the pool up to ``worker_retries`` times with
+    seeded exponential backoff.  A retry that succeeds returns its
+    payload unflagged — a transient crash costs retries, not exactness.
+    On exhaustion the PR 2 degradation ladder takes over: in-process
+    ``bigint`` recount (exact, ``degraded`` flagged) when degradation
+    is enabled, :class:`~repro.errors.WorkerCrashError` otherwise.
+    """
+    cid = task["chunk_id"]
+    rng = random.Random((int(retry_seed) << 20) ^ cid)
+    reg = obs.get_registry()
+    for attempt in range(1, worker_retries + 1):
+        delay = _retry_delay(rng, attempt, retry_backoff)
+        if delay > 0:
+            _sleep(delay)
+        if reg.enabled:
+            reg.counter("runtime_worker_retries").inc()
+        retry = dict(task)
+        # attempt here is the retry number; the initial dispatch was
+        # attempt 1, so this resubmission is overall attempt 1+attempt.
+        if 1 + attempt <= fault_counts.get(cid, 0):
+            retry["crash"] = True
+        else:
+            retry.pop("crash", None)
+        payload = None
+        for _cid, payload in rt.map_chunks([retry]):
+            break
+        if payload is not None and payload.get("ok"):
+            return payload
+        error = (payload or {}).get("error", error)
+    if not allow_degrade:
+        raise WorkerCrashError(
+            f"chunk {cid} failed in a worker after {1 + worker_retries} "
+            f"attempts: {error}"
+        )
+    return _retry_in_process(graph, dag, task, error)
+
+
 # ----------------------------------------------------------------------
 # parent-side drivers
 # ----------------------------------------------------------------------
@@ -453,6 +559,10 @@ def parallel_count(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
+    roots: np.ndarray | None = None,
 ):
     """Multi-process exact counting (target-k when ``k`` is set, all-k
     otherwise).  Returns a full
@@ -462,12 +572,18 @@ def parallel_count(
     when metrics are enabled, workers snapshot their per-task
     registries and the parent merges them, keeping counter totals
     exact; when disabled, workers skip collection entirely.
+
+    ``roots`` restricts the run to a subset of root vertices (partial
+    sums over the rest are zero) — the shard executor counts one
+    shard's root range per call.  ``worker_retries`` /
+    ``retry_backoff`` / ``retry_seed`` shape the bounded crash-retry
+    loop (see :func:`_resolve_failure`).
     """
     from repro.counting.sct import CountResult
 
     n = graph.num_vertices
     kernel_name = _kernel_name(kernel)
-    chunks = plan_chunks(dag.degrees, processes, chunks_per_process)
+    chunks = plan_chunks(dag.degrees, processes, chunks_per_process, roots)
     num_chunks = len(chunks)
     length = 0
     all_counts: list[int] | None = None
@@ -487,6 +603,7 @@ def parallel_count(
         else bool(collect_metrics)
     )
     allow_degrade = degrade or (ctl is not None and ctl.degrade)
+    fault_counts = _normalize_fault_chunks(fault_chunks)
 
     if ctl is not None:
         def snapshot() -> dict:
@@ -551,14 +668,14 @@ def parallel_count(
                     if ctl is not None:
                         ctl.tick()
                     if not payload.get("ok"):
-                        if not allow_degrade:
-                            raise WorkerCrashError(
-                                f"chunk {chunk_id} failed in a worker: "
-                                f"{payload.get('error')}"
-                            )
-                        payload = _retry_in_process(
-                            graph, dag, tasks[pending.index(chunk_id)],
+                        payload = _resolve_failure(
+                            rt, graph, dag, tasks[pending.index(chunk_id)],
                             payload.get("error", ""),
+                            fault_counts=fault_counts,
+                            worker_retries=worker_retries,
+                            retry_backoff=retry_backoff,
+                            retry_seed=retry_seed,
+                            allow_degrade=allow_degrade,
                         )
                     ctr = Counters.from_dict(payload["counters"])
                     if ctl is not None:
@@ -617,6 +734,9 @@ def parallel_per_vertex(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ) -> list[int]:
     """Multi-process per-vertex k-clique counts (exact ints).
 
@@ -635,6 +755,7 @@ def parallel_per_vertex(
         else bool(collect_metrics)
     )
     allow_degrade = degrade or (ctl is not None and ctl.degrade)
+    fault_counts = _normalize_fault_chunks(fault_chunks)
     if ctl is not None:
         ctl.begin({
             "engine": "per-vertex-parallel",
@@ -664,14 +785,14 @@ def parallel_per_vertex(
                     if ctl is not None:
                         ctl.tick()
                     if not payload.get("ok"):
-                        if not allow_degrade:
-                            raise WorkerCrashError(
-                                f"chunk {chunk_id} failed in a worker: "
-                                f"{payload.get('error')}"
-                            )
-                        payload = _retry_in_process(
-                            graph, dag, tasks[chunk_id],
+                        payload = _resolve_failure(
+                            rt, graph, dag, tasks[chunk_id],
                             payload.get("error", ""),
+                            fault_counts=fault_counts,
+                            worker_retries=worker_retries,
+                            retry_backoff=retry_backoff,
+                            retry_seed=retry_seed,
+                            allow_degrade=allow_degrade,
                         )
                     ctr = Counters.from_dict(payload["counters"])
                     if ctl is not None:
@@ -701,6 +822,9 @@ def parallel_build_forest(
     runtime: ParallelRuntime | None = None,
     start_method: str | None = None,
     fault_chunks=(),
+    worker_retries: int = 2,
+    retry_backoff: float = 0.0,
+    retry_seed: int = 0,
 ):
     """Multi-process :class:`~repro.counting.forest.SCTForest` build.
 
@@ -729,6 +853,7 @@ def parallel_build_forest(
         else bool(collect_metrics)
     )
     allow_degrade = degrade or (ctl is not None and ctl.degrade)
+    fault_counts = _normalize_fault_chunks(fault_chunks)
     descriptor = {
         "engine": "sct-forest",
         "structure": structure,
@@ -759,16 +884,16 @@ def parallel_build_forest(
                     if ctl is not None:
                         ctl.tick()
                     if not payload.get("ok"):
-                        if not allow_degrade:
-                            raise WorkerCrashError(
-                                f"chunk {chunk_id} failed in a worker: "
-                                f"{payload.get('error')}"
-                            )
-                        payload = _retry_in_process(
-                            graph, dag, tasks[chunk_id],
+                        payload = _resolve_failure(
+                            rt, graph, dag, tasks[chunk_id],
                             payload.get("error", ""),
+                            fault_counts=fault_counts,
+                            worker_retries=worker_retries,
+                            retry_backoff=retry_backoff,
+                            retry_seed=retry_seed,
+                            allow_degrade=allow_degrade,
                         )
-                        if degraded_from is None:
+                        if payload.get("degraded") and degraded_from is None:
                             degraded_from = "worker"
                     roots_arr = chunks[chunk_id]
                     chunk_ctr = Counters()

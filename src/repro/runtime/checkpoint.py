@@ -27,6 +27,14 @@ Format (version 1)::
 Counts are stored as native JSON integers (Python's ``json`` handles
 arbitrary precision exactly) and work counters as floats (``repr``
 round-trip is exact), so nothing is lost across save/load.
+
+Writes go through :mod:`repro.shard.safeio` — temp file + ``fsync`` +
+rename + directory fsync — and the payload carries a ``checksum`` over
+its canonical JSON encoding; :func:`load_checkpoint` recomputes it and
+refuses a mismatch, so a torn or bit-rotted checkpoint is rejected
+loudly instead of resuming from silently wrong partial sums.
+Checkpoints written before the checksum existed (no ``checksum`` key)
+still load.
 """
 
 from __future__ import annotations
@@ -67,6 +75,16 @@ def array_fingerprint(arr) -> str:
     ).hexdigest()[:16]
 
 
+def _payload_checksum(payload: dict) -> str:
+    """Checksum over the canonical encoding of a checkpoint payload
+    (every key except ``checksum`` itself, sorted)."""
+    body = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"},
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
 def save_checkpoint(
     path: str | os.PathLike[str],
     descriptor: dict,
@@ -74,8 +92,14 @@ def save_checkpoint(
     state: dict,
     *,
     complete: bool = False,
+    faults=None,
 ) -> None:
-    """Atomically write a checkpoint (write temp + rename)."""
+    """Atomically write a checkpoint (temp + fsync + rename) with a
+    content checksum.  ``faults`` threads the run's
+    :class:`~repro.runtime.faults.FaultPlan` into the safeio layer so
+    injected I/O faults hit checkpoint writes too."""
+    from repro.shard import safeio
+
     payload = {
         "version": CHECKPOINT_VERSION,
         "complete": bool(complete),
@@ -83,11 +107,9 @@ def save_checkpoint(
         "spent": spent.as_dict(),
         "state": state,
     }
-    tmp = f"{os.fspath(path)}.tmp"
+    payload["checksum"] = _payload_checksum(payload)
     try:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
+        safeio.atomic_write_text(path, json.dumps(payload), faults=faults)
     except OSError as exc:
         raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
 
@@ -111,6 +133,14 @@ def load_checkpoint(
         raise CheckpointError(f"corrupt checkpoint {path}: {exc}") from exc
     if not isinstance(payload, dict) or "state" not in payload:
         raise CheckpointError(f"corrupt checkpoint {path}: missing fields")
+    stored_sum = payload.get("checksum")
+    if stored_sum is not None:
+        computed = _payload_checksum(payload)
+        if computed != stored_sum:
+            raise CheckpointError(
+                f"{path}: checksum mismatch (stored {stored_sum}, computed "
+                f"{computed}) — checkpoint is torn or corrupt"
+            )
     version = payload.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(

@@ -268,6 +268,7 @@ class RunController:
             self.spent_snapshot(),
             self._snapshot(),
             complete=complete,
+            faults=self.faults,
         )
         self._since_save = 0
         obs.checkpoint_write(complete=complete)

@@ -21,6 +21,25 @@ actually sees, each at an exactly-reproducible point:
 Operations are counted by :meth:`FaultPlan.tick`, which the controller
 calls once per root vertex — "the Nth operation" therefore means "the
 Nth root boundary", a stable, engine-independent index.
+
+The shard runtime (PR 7) adds an **I/O fault family** injected through
+the :mod:`repro.shard.safeio` read/write layer rather than at root
+boundaries:
+
+* ``io_partial_write`` — a write is silently truncated before the
+  atomic rename lands (a torn write the writer believed succeeded);
+  detected later by checksum verification on read;
+* ``io_corrupt_read`` — checksum verification of a read artifact
+  computes a poisoned digest once, simulating bit-rot / a bad sector;
+* ``io_enospc`` — the write raises ``OSError(ENOSPC)``, simulating
+  disk exhaustion.
+
+I/O faults keep their own per-direction op counters (see
+:meth:`FaultPlan.take_io_fault`): ``at_op`` indexes safeio *write*
+operations for the write kinds and *read* (verify) operations for
+``io_corrupt_read``.  They never fire from :meth:`FaultPlan.tick`.
+A spec with ``repeat=True`` keeps firing at every op from ``at_op``
+on — the persistent-fault case that exhausts shard retries.
 """
 
 from __future__ import annotations
@@ -41,9 +60,26 @@ __all__ = [
     "ManualClock",
     "FaultyKernel",
     "FAULT_KINDS",
+    "IO_KINDS",
+    "IO_READ_KINDS",
+    "IO_WRITE_KINDS",
 ]
 
-FAULT_KINDS = ("memory", "kernel", "clock_jump", "interrupt")
+FAULT_KINDS = (
+    "memory",
+    "kernel",
+    "clock_jump",
+    "interrupt",
+    "io_partial_write",
+    "io_corrupt_read",
+    "io_enospc",
+)
+
+#: I/O fault kinds scheduled against the safeio *write* op counter.
+IO_WRITE_KINDS = ("io_partial_write", "io_enospc")
+#: I/O fault kinds scheduled against the safeio *read* op counter.
+IO_READ_KINDS = ("io_corrupt_read",)
+IO_KINDS = IO_WRITE_KINDS + IO_READ_KINDS
 
 
 @dataclass(frozen=True)
@@ -59,11 +95,16 @@ class FaultSpec:
         fault fires.
     jump_seconds:
         For ``clock_jump``: how far the clock leaps forward.
+    repeat:
+        For the I/O kinds: fire at *every* op from ``at_op`` on instead
+        of exactly once (a persistent fault, e.g. a disk that stays
+        full).  Ignored for the root-boundary kinds.
     """
 
     kind: str
     at_op: int
     jump_seconds: float = 0.0
+    repeat: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -74,6 +115,8 @@ class FaultSpec:
             raise CountingError("at_op is 1-based and must be >= 1")
         if self.kind == "clock_jump" and self.jump_seconds <= 0:
             raise CountingError("clock_jump needs jump_seconds > 0")
+        if self.repeat and self.kind not in IO_KINDS:
+            raise CountingError("repeat=True is only meaningful for I/O faults")
 
 
 class FaultPlan:
@@ -89,12 +132,50 @@ class FaultPlan:
     def __init__(self, *specs: FaultSpec) -> None:
         self.specs = tuple(specs)
         self.ops = 0
+        self.io_writes = 0
+        self.io_reads = 0
         self._fired: set[int] = set()
+
+    def take_io_fault(self, direction: str) -> "FaultSpec | None":
+        """Advance an I/O op counter; return the due spec, if any.
+
+        ``direction`` is ``"write"`` (atomic writes / appends) or
+        ``"read"`` (checksum verifications).  Called by
+        :mod:`repro.shard.safeio` once per operation; unlike
+        :meth:`tick` the fault is *returned*, not raised — safeio owns
+        the failure semantics (truncate, poison, or raise ``ENOSPC``).
+        At most one spec is returned per op; a ``repeat=True`` spec
+        stays armed and fires on every subsequent op too.
+        """
+        if direction == "write":
+            kinds = IO_WRITE_KINDS
+            self.io_writes += 1
+            ops = self.io_writes
+        elif direction == "read":
+            kinds = IO_READ_KINDS
+            self.io_reads += 1
+            ops = self.io_reads
+        else:  # pragma: no cover - programming error
+            raise CountingError(f"unknown I/O direction {direction!r}")
+        for i, spec in enumerate(self.specs):
+            if spec.kind not in kinds:
+                continue
+            if spec.repeat:
+                if ops >= spec.at_op:
+                    self._fired.add(i)
+                    return spec
+                continue
+            if i not in self._fired and spec.at_op == ops:
+                self._fired.add(i)
+                return spec
+        return None
 
     def tick(self, clock: "InjectedClock | ManualClock | None" = None) -> None:
         """Advance the op counter and fire any due faults."""
         self.ops += 1
         for i, spec in enumerate(self.specs):
+            if spec.kind in IO_KINDS:
+                continue  # fired via take_io_fault, never at root ticks
             if i in self._fired or spec.at_op != self.ops:
                 continue
             self._fired.add(i)

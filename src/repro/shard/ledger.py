@@ -1,0 +1,185 @@
+"""Crash-safe shard ledger: append-only JSON-lines progress record.
+
+The ledger is the shard runtime's resume mechanism — the durable
+analogue of the PR 2 checkpoint, shaped for append-mostly progress:
+
+* line 1 is a **header** carrying the format version and the run
+  descriptor (engine, k, structure, kernel, graph/DAG fingerprints and
+  the shard-plan fingerprint), so resuming against different inputs is
+  refused with the same descriptor-mismatch discipline as
+  :func:`repro.runtime.checkpoint.load_checkpoint`;
+* each subsequent line records one event — ``spill`` (a shard's slice
+  files landed, with their checksum manifest), ``done`` (a shard's
+  exact partial result), or ``complete`` (the whole run folded);
+* **every line carries its own content checksum** over the canonical
+  JSON encoding of the record, and every append is fsync'd.
+
+Appends are not atomic, so a kill mid-append leaves a torn trailing
+line.  On resume the loader walks the file line by line, stops at the
+first line that fails to parse or verify, and truncates the file back
+to the last valid line — everything after a tear is treated as never
+having happened, which is safe because a shard whose ``done`` record
+was lost is simply recounted (per-root additivity makes the recount
+bit-identical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.errors import CheckpointError
+from repro.shard import safeio
+
+__all__ = ["ShardLedger", "LEDGER_VERSION", "LEDGER_NAME"]
+
+LEDGER_VERSION = 1
+LEDGER_NAME = "ledger.jsonl"
+
+
+def _line_checksum(record: dict) -> str:
+    body = json.dumps(
+        {k: v for k, v in record.items() if k != "checksum"},
+        sort_keys=True,
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+class ShardLedger:
+    """The per-spill-directory progress ledger.
+
+    Attributes after :meth:`open`:
+
+    ``spilled``
+        shard index -> spill manifest (latest ``spill`` record wins, so
+        a respill after quarantine supersedes the torn artifact's
+        checksums);
+    ``done``
+        shard index -> partial-result state dict;
+    ``complete``
+        whether a ``complete`` record was replayed.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *, faults=None) -> None:
+        self.path = os.fspath(path)
+        self.faults = faults
+        self.header: dict | None = None
+        self.spilled: dict[int, dict] = {}
+        self.done: dict[int, dict] = {}
+        self.complete = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: str | os.PathLike[str],
+        descriptor: dict,
+        *,
+        resume: bool = False,
+        faults=None,
+    ) -> "ShardLedger":
+        """Open (and on resume, replay) the ledger at ``path``.
+
+        Without ``resume`` any existing ledger is overwritten with a
+        fresh header; with it, the stored descriptor must match —
+        resuming a ledger written for a different graph, ordering, k,
+        kernel, or shard plan raises
+        :class:`~repro.errors.CheckpointError`.
+        """
+        led = cls(path, faults=faults)
+        if resume and os.path.exists(led.path):
+            led._replay(descriptor)
+            return led
+        header = {
+            "type": "header",
+            "version": LEDGER_VERSION,
+            "descriptor": descriptor,
+        }
+        header["checksum"] = _line_checksum(header)
+        try:
+            safeio.atomic_write_text(
+                led.path, json.dumps(header) + "\n", faults=faults
+            )
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot create shard ledger {led.path}: {exc}"
+            ) from exc
+        led.header = header
+        return led
+
+    # ------------------------------------------------------------------
+    def _replay(self, descriptor: dict) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        valid_end = 0
+        lineno = 0
+        records: list[dict] = []
+        for chunk in raw.split(b"\n"):
+            end = valid_end + len(chunk) + 1  # +1 for the newline
+            if end > len(raw):
+                break  # trailing chunk with no newline: torn, discard
+            lineno += 1
+            try:
+                record = json.loads(chunk.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break
+            if (
+                not isinstance(record, dict)
+                or record.get("checksum") != _line_checksum(record)
+            ):
+                break
+            records.append(record)
+            valid_end = end
+        if valid_end < len(raw):
+            # Torn or corrupt tail: truncate back to the last valid
+            # line so the next append starts on a clean boundary.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+        if not records or records[0].get("type") != "header":
+            raise CheckpointError(
+                f"{self.path}: line 1: missing or corrupt ledger header"
+            )
+        header = records[0]
+        version = header.get("version")
+        if version != LEDGER_VERSION:
+            raise CheckpointError(
+                f"{self.path}: ledger has version {version!r}, "
+                f"expected {LEDGER_VERSION}"
+            )
+        stored = header.get("descriptor") or {}
+        for key, want in descriptor.items():
+            got = stored.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"{self.path}: ledger was written for {key}={got!r}, "
+                    f"this run has {key}={want!r}"
+                )
+        self.header = header
+        for record in records[1:]:
+            kind = record.get("type")
+            if kind == "spill":
+                self.spilled[int(record["shard"])] = record["manifest"]
+            elif kind == "done":
+                self.done[int(record["shard"])] = record["state"]
+            elif kind == "complete":
+                self.complete = True
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        record["checksum"] = _line_checksum(record)
+        safeio.append_text(
+            self.path, json.dumps(record) + "\n", faults=self.faults
+        )
+
+    def record_spill(self, index: int, manifest: dict) -> None:
+        self._append({"type": "spill", "shard": int(index), "manifest": manifest})
+        self.spilled[int(index)] = manifest
+
+    def record_done(self, index: int, state: dict) -> None:
+        self._append({"type": "done", "shard": int(index), "state": state})
+        self.done[int(index)] = state
+
+    def record_complete(self) -> None:
+        self._append({"type": "complete"})
+        self.complete = True

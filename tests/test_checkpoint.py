@@ -216,3 +216,75 @@ def test_resume_from_complete_checkpoint_is_noop(tmp_path, g):
     r = _engine(g, "bigint").count_all(controller=ctl)
     _assert_identical(r, base)
     assert ctl.spent.nodes == base.counters.function_calls
+
+
+# ------------------------------------------------- content checksums
+def test_checkpoint_carries_verified_checksum(tmp_path, g):
+    path = tmp_path / "ck.json"
+    _engine(g, "bigint").count_all(
+        controller=RunController(checkpoint_path=path)
+    )
+    payload = json.loads(path.read_text())
+    assert "checksum" in payload
+    load_checkpoint(path)  # verifies cleanly
+
+
+def test_tampered_checkpoint_refused(tmp_path, g):
+    """Any post-write bit flip — here a partial-sum tamper — fails the
+    checksum before the descriptor is even looked at."""
+    path = tmp_path / "ck.json"
+    _engine(g, "bigint").count_all(
+        controller=RunController(checkpoint_path=path)
+    )
+    payload = json.loads(path.read_text())
+    payload["state"]["total"] = 12345
+    path.write_text(json.dumps(payload))
+    with pytest.raises(CheckpointError, match="checksum mismatch"):
+        load_checkpoint(path)
+
+
+def test_truncated_checkpoint_refused(tmp_path, g):
+    path = tmp_path / "ck.json"
+    _engine(g, "bigint").count_all(
+        controller=RunController(checkpoint_path=path)
+    )
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+        load_checkpoint(path)
+
+
+def test_pre_checksum_checkpoint_still_loads(tmp_path, g):
+    """Checkpoints written before the checksum existed lack the key —
+    they must keep loading (forward compatibility)."""
+    path = tmp_path / "ck.json"
+    _engine(g, "bigint").count_all(
+        controller=RunController(checkpoint_path=path)
+    )
+    payload = json.loads(path.read_text())
+    del payload["checksum"]
+    path.write_text(json.dumps(payload))
+    loaded = load_checkpoint(path)
+    assert loaded["complete"]
+
+
+def test_injected_enospc_on_save_is_checkpoint_error(tmp_path, g):
+    from repro.runtime.budget import BudgetSpent as _Spent
+
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=1))
+    with pytest.raises(CheckpointError, match="cannot write"):
+        save_checkpoint(
+            tmp_path / "ck.json", {"engine": "sct"}, BudgetSpent(),
+            {"next_root": 0}, faults=faults,
+        )
+
+
+def test_injected_torn_checkpoint_write_detected_on_load(tmp_path, g):
+    faults = FaultPlan(FaultSpec("io_partial_write", at_op=1))
+    path = tmp_path / "ck.json"
+    save_checkpoint(
+        path, {"engine": "sct"}, BudgetSpent(), {"next_root": 3},
+        faults=faults,
+    )
+    with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+        load_checkpoint(path)

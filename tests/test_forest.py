@@ -364,3 +364,95 @@ def test_sample_cliques_errors():
         forest.sample_cliques(0, 10, rng=0)
     with pytest.raises(CountingError):
         forest.sample_cliques(3, -1, rng=0)
+
+
+# ----------------------------------------------------------------------
+# hardened .npz loading: quarantine, typed errors, rebuild fallback
+# ----------------------------------------------------------------------
+def test_truncated_forest_quarantined_with_typed_error(tmp_path, g):
+    """The byte-truncation regression: a torn .npz raises
+    ForestFormatError naming the path, and the corpse is quarantined
+    as .corrupt instead of staying under the real name."""
+    from repro.counting.forest import load_or_rebuild_forest
+    from repro.errors import ForestFormatError
+
+    path = tmp_path / "forest.npz"
+    build_forest(g, core_ordering(g)).save(path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(ForestFormatError, match="corrupt forest") as ei:
+        load_forest(path)
+    assert str(path) in str(ei.value)
+    assert not path.exists()
+    assert (tmp_path / "forest.npz.corrupt").exists()
+    # ForestFormatError subclasses CheckpointError, so existing
+    # callers catching the broad type keep working.
+    assert isinstance(ei.value, CheckpointError)
+
+
+def test_missing_forest_is_not_quarantined(tmp_path):
+    from repro.errors import ForestFormatError
+
+    with pytest.raises(CheckpointError, match="cannot read") as ei:
+        load_forest(tmp_path / "absent.npz")
+    assert not isinstance(ei.value, ForestFormatError)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_load_or_rebuild_heals_corrupt_artifact(tmp_path, g):
+    from repro.counting.forest import clear_forest_cache, load_or_rebuild_forest
+    from repro.errors import DegradedResultWarning
+
+    clear_forest_cache()
+    path = tmp_path / "forest.npz"
+    original = build_forest(g, core_ordering(g))
+    original.save(path)
+    path.write_bytes(path.read_bytes()[:100])
+    with pytest.warns(DegradedResultWarning, match="rebuilding forest"):
+        forest, rebuilt = load_or_rebuild_forest(path, g)
+    assert rebuilt
+    assert forest.count(3) == original.count(3)
+    assert forest.count_all() == original.count_all()
+    # The artifact was healed in place: the next load is clean.
+    healed, rebuilt2 = load_or_rebuild_forest(path, g)
+    assert not rebuilt2
+    assert healed.count(3) == original.count(3)
+
+
+def test_load_or_rebuild_does_not_mask_missing_file(tmp_path, g):
+    from repro.counting.forest import load_or_rebuild_forest
+
+    with pytest.raises(CheckpointError, match="cannot read"):
+        load_or_rebuild_forest(tmp_path / "absent.npz", g)
+
+
+def test_forest_save_routes_through_safeio_faults(tmp_path, g):
+    forest = build_forest(g, core_ordering(g))
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=1))
+    with pytest.raises(CheckpointError, match="cannot write"):
+        forest.save(tmp_path / "forest.npz", faults=faults)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cli_forest_use_rebuilds_from_corrupt_file(tmp_path, g, capsys):
+    from repro.cli import main
+    from repro.counting.forest import clear_forest_cache
+    from repro.graph.io import write_edge_list
+
+    clear_forest_cache()
+    edges = tmp_path / "g.txt"
+    write_edge_list(g, edges)
+    path = tmp_path / "forest.npz"
+    build_forest(g, core_ordering(g)).save(path)
+    expected = SCTEngine(g, core_ordering(g)).count(3)
+    path.write_bytes(path.read_bytes()[:80])
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore")
+        code = main(["count", "--edge-list", str(edges), "-k", "3",
+                     "--forest", "use", "--forest-path", str(path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rebuilt; corrupt file quarantined" in out
+    assert f"3-cliques: {expected.count:,}" in out

@@ -270,3 +270,83 @@ def test_shared_graph_pair_round_trip():
         finally:
             del g2, dag2
             shm.close()
+
+
+# ----------------------------------------------------------------------
+# bounded worker-crash retries (the rung before degradation)
+# ----------------------------------------------------------------------
+def test_transient_crash_recovered_by_retry(rt_fork):
+    """A chunk that crashes once and succeeds on resubmission keeps the
+    result exact and *unflagged* — no degradation rung, one retry
+    metered."""
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    serial = SCTEngine(g, o).count(3)
+    with obs.collecting() as reg:
+        got = count_kcliques_processes(
+            g, 3, o, processes=2, runtime=rt_fork,
+            fault_chunks={0: 1},  # transient: crash the 1st attempt only
+        )
+        retries = reg.counter("runtime_worker_retries").value
+    assert got.count == serial.count
+    assert got.counters.function_calls == serial.counters.function_calls
+    assert np.array_equal(got.per_root_work, serial.per_root_work)
+    assert got.degraded_from is None
+    assert retries == 1
+
+
+def test_retries_exhausted_then_degrade(rt_fork):
+    """fail_count > retries: the pool gives up and the in-process
+    degradation rung takes over (exact, flagged)."""
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    serial = SCTEngine(g, o).count(3)
+    got = count_kcliques_processes(
+        g, 3, o, processes=2, runtime=rt_fork, degrade=True,
+        fault_chunks={0: 5}, worker_retries=2,
+    )
+    assert got.count == serial.count
+    assert got.degraded_from == "worker"
+
+
+def test_zero_retries_restores_old_behavior(rt_fork):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    with pytest.raises(WorkerCrashError, match="after 1 attempts"):
+        count_kcliques_processes(
+            g, 3, o, processes=2, runtime=rt_fork,
+            fault_chunks={0: 1}, worker_retries=0,
+        )
+
+
+def test_retry_backoff_deterministic(rt_fork, monkeypatch):
+    from repro.parallel import runtime as prt
+
+    def run(seed):
+        delays = []
+        monkeypatch.setattr(prt, "_sleep", delays.append)
+        name, g = GRAPHS[2]
+        o = ordering(name, g)
+        count_kcliques_processes(
+            g, 3, o, processes=2, runtime=rt_fork,
+            fault_chunks={0: 2}, worker_retries=2,
+            retry_backoff=0.01, retry_seed=seed,
+        )
+        return delays
+
+    first, again, reseeded = run(9), run(9), run(10)
+    assert len(first) == 2
+    assert all(d > 0 for d in first)
+    assert first == again
+    assert reseeded != first
+
+
+def test_allk_transient_crash_recovered(rt_fork):
+    name, g = GRAPHS[2]
+    o = ordering(name, g)
+    serial = SCTEngine(g, o).count_all()
+    got = count_all_sizes_processes(
+        g, o, processes=2, runtime=rt_fork, fault_chunks={1: 1},
+    )
+    assert got.all_counts == serial.all_counts
+    assert got.degraded_from is None

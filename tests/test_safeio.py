@@ -1,0 +1,148 @@
+"""The crash-safe I/O layer: atomic writes, checksums, quarantine, and
+the injected I/O fault family (partial write, corrupt read, ENOSPC)."""
+
+import errno
+import json
+
+import pytest
+
+from repro.errors import IOIntegrityError
+from repro.runtime import FaultPlan, FaultSpec
+from repro.shard import safeio
+
+
+# ------------------------------------------------------------ clean path
+def test_atomic_write_roundtrip(tmp_path):
+    path = tmp_path / "artifact.bin"
+    data = b"payload" * 100
+    checksum = safeio.atomic_write_bytes(path, data)
+    assert path.read_bytes() == data
+    assert checksum == safeio.checksum_bytes(data)
+    assert checksum == safeio.checksum_file(path)
+    safeio.verify_file(path, checksum)  # no raise
+    # No .tmp debris.
+    assert [p.name for p in tmp_path.iterdir()] == ["artifact.bin"]
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "artifact.bin"
+    safeio.atomic_write_bytes(path, b"old")
+    safeio.atomic_write_bytes(path, b"new contents")
+    assert path.read_bytes() == b"new contents"
+
+
+def test_append_text_accumulates(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    safeio.append_text(path, "line one\n")
+    safeio.append_text(path, "line two\n")
+    assert path.read_text().splitlines() == ["line one", "line two"]
+
+
+def test_verify_mismatch_names_path_and_checksums(tmp_path):
+    path = tmp_path / "artifact.bin"
+    safeio.atomic_write_bytes(path, b"good")
+    bad = safeio.checksum_bytes(b"other")
+    with pytest.raises(IOIntegrityError, match="checksum mismatch") as ei:
+        safeio.verify_file(path, bad)
+    assert str(path) in str(ei.value)
+    assert bad in str(ei.value)
+    assert ei.value.path == str(path)
+
+
+def test_verify_missing_file_is_integrity_error(tmp_path):
+    with pytest.raises(IOIntegrityError, match="cannot read"):
+        safeio.verify_file(tmp_path / "gone.bin", "0" * 16)
+
+
+def test_quarantine_renames_and_never_raises(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(b"corrupt")
+    target = safeio.quarantine(path)
+    assert target == str(path) + safeio.CORRUPT_SUFFIX
+    assert not path.exists()
+    assert (tmp_path / "artifact.bin.corrupt").read_bytes() == b"corrupt"
+    # Quarantining a vanished file is a no-op, not an error.
+    assert safeio.quarantine(path).endswith(".corrupt")
+
+
+# --------------------------------------------------------- fault family
+def test_partial_write_is_torn_but_renamed(tmp_path):
+    """The writer believes it succeeded: the rename lands, the intended
+    checksum comes back — only read-verification exposes the tear."""
+    path = tmp_path / "artifact.bin"
+    data = b"x" * 64
+    faults = FaultPlan(FaultSpec("io_partial_write", at_op=1))
+    checksum = safeio.atomic_write_bytes(path, data, faults=faults)
+    assert checksum == safeio.checksum_bytes(data)  # intended checksum
+    assert path.read_bytes() == data[:32]  # torn on disk
+    with pytest.raises(IOIntegrityError, match="torn or corrupt"):
+        safeio.verify_file(path, checksum)
+
+
+def test_enospc_raises_before_any_bytes_land(tmp_path):
+    path = tmp_path / "artifact.bin"
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=1))
+    with pytest.raises(OSError) as ei:
+        safeio.atomic_write_bytes(path, b"data", faults=faults)
+    assert ei.value.errno == errno.ENOSPC
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []  # no tmp debris either
+
+
+def test_corrupt_read_poisons_one_verification(tmp_path):
+    path = tmp_path / "artifact.bin"
+    checksum = safeio.atomic_write_bytes(path, b"intact bytes")
+    faults = FaultPlan(FaultSpec("io_corrupt_read", at_op=1))
+    with pytest.raises(IOIntegrityError):
+        safeio.verify_file(path, checksum, faults=faults)
+    # Single-shot: the next verification of the same intact file passes.
+    safeio.verify_file(path, checksum, faults=faults)
+
+
+def test_write_faults_index_write_ops_only(tmp_path):
+    """at_op counts safeio write operations; reads advance a separate
+    counter, so interleaved verifies don't shift the schedule."""
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=3))
+    p1, p2, p3 = (tmp_path / f"a{i}.bin" for i in range(3))
+    c1 = safeio.atomic_write_bytes(p1, b"one", faults=faults)  # write 1
+    safeio.verify_file(p1, c1, faults=faults)  # read 1 (no effect)
+    safeio.atomic_write_bytes(p2, b"two", faults=faults)  # write 2
+    with pytest.raises(OSError):
+        safeio.atomic_write_bytes(p3, b"three", faults=faults)  # write 3
+
+
+def test_repeat_fault_fires_persistently(tmp_path):
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=2, repeat=True))
+    safeio.atomic_write_bytes(tmp_path / "ok.bin", b"fine", faults=faults)
+    for i in range(3):
+        with pytest.raises(OSError):
+            safeio.atomic_write_bytes(
+                tmp_path / f"fail{i}.bin", b"nope", faults=faults
+            )
+
+
+def test_io_faults_do_not_fire_from_tick():
+    """Root-boundary tick() must skip the I/O family entirely."""
+    faults = FaultPlan(FaultSpec("io_enospc", at_op=1))
+    for _ in range(5):
+        faults.tick(lambda: 0.0)  # would raise if the spec fired
+    with pytest.raises(OSError):
+        safeio.atomic_write_bytes("/dev/null", b"", faults=faults)
+
+
+def test_fault_spec_repeat_validation():
+    from repro.errors import CountingError
+
+    with pytest.raises(CountingError, match="repeat"):
+        FaultSpec("interrupt", at_op=1, repeat=True)
+
+
+def test_append_partial_write_truncates_tail(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    safeio.append_text(path, "intact line\n")
+    line = json.dumps({"type": "done", "shard": 1}) + "\n"
+    faults = FaultPlan(FaultSpec("io_partial_write", at_op=1))
+    safeio.append_text(path, line, faults=faults)
+    raw = path.read_bytes()
+    assert raw.startswith(b"intact line\n")
+    assert raw[len(b"intact line\n"):] == line.encode()[: len(line) // 2]
