@@ -64,6 +64,7 @@ import numpy as np
 from repro import obs
 from repro.counting.binomial import binomial, binomial_row
 from repro.counting.counters import Counters
+from repro.counting.sct import _FRONTIER_MIN_PC
 from repro.counting.structures import STRUCTURES, SubgraphStructure
 from repro.errors import (
     CheckpointError,
@@ -836,18 +837,20 @@ def _collect_root(
     pivot_ids: list[int] = []
     acc = [0, 0, 0, 0, 0, 0, 0]
 
+    def leaf(held: int, pivots: int) -> None:
+        acc[1] += 1
+        depth = held + pivots
+        if depth > acc[5]:
+            acc[5] = depth
+        if record_members:
+            leaves.append((held, pivots, tuple(held_ids), tuple(pivot_ids)))
+        else:
+            leaves.append((held, pivots, None, None))
+
     def rec(P: int, pc: int, held: int, pivots: int) -> None:
         acc[0] += 1
         if pc == 0:
-            acc[1] += 1
-            depth = held + pivots
-            if depth > acc[5]:
-                acc[5] = depth
-            if record_members:
-                leaves.append((held, pivots, tuple(held_ids),
-                               tuple(pivot_ids)))
-            else:
-                leaves.append((held, pivots, None, None))
+            leaf(held, pivots)
             return
         acc[3] += pc
         best, best_row, best_cnt, edge_sum = pivot_select(rows, P, pc)
@@ -870,7 +873,72 @@ def _collect_root(
             cand ^= low
         acc[6] += edge_sum
 
-    rec(full, d, 1, 0)
+    cutoff = _FRONTIER_MIN_PC
+
+    def rec_frontier(P, pc: int, held: int, pivots: int, choice) -> None:
+        # Tier-2 spine: same depth-first order (so the flat leaf arrays
+        # are bit-identical), but the branch loop collapses into one
+        # expand_children call and the large children share one
+        # pivot_select_sweep; subtrees below the hybrid cutoff are
+        # handed whole to the scalar closure (see sct.py).
+        acc[0] += 1
+        if pc == 0:
+            leaf(held, pivots)
+            return
+        acc[3] += pc
+        best, best_row, best_cnt, edge_sum = choice
+        ws, children, ccs = expand(rows, P, best, best_row)
+        nb = len(ws)
+        acc[4] += nb
+        edge_sum += sum(ccs)
+        acc[6] += edge_sum
+        big_pivot = best_cnt >= cutoff
+        masks = []
+        pcs = []
+        slots = []
+        if big_pivot:
+            masks.append(best_row)
+            pcs.append(best_cnt)
+            slots.append(-1)
+        for i in range(nb):
+            if ccs[i] >= cutoff:
+                masks.append(children[i])
+                pcs.append(ccs[i])
+                slots.append(i)
+        pivot_choice = None
+        child_choice = [None] * nb
+        if masks:
+            cb, cr, ccnt, ce = sweep(rows, masks, pcs)
+            for t, s in enumerate(slots):
+                if s < 0:
+                    pivot_choice = (cb[t], cr[t], ccnt[t], ce[t])
+                else:
+                    child_choice[s] = (cb[t], cr[t], ccnt[t], ce[t])
+        pivot_ids.append(out[best])
+        if big_pivot:
+            rec_frontier(best_row, best_cnt, held, pivots + 1, pivot_choice)
+        else:
+            rec(mask_int(rows, best_row), best_cnt, held, pivots + 1)
+        pivot_ids.pop()
+        held1 = held + 1
+        for i in range(nb):
+            held_ids.append(out[ws[i]])
+            if ccs[i] >= cutoff:
+                rec_frontier(children[i], ccs[i], held1, pivots,
+                             child_choice[i])
+            else:
+                rec(mask_int(rows, children[i]), ccs[i], held1, pivots)
+            held_ids.pop()
+
+    if kern.frontier and d >= cutoff:
+        expand = kern.expand_children
+        sweep = kern.pivot_select_sweep
+        mask_int = kern.mask_int
+        fullN = kern.to_native(rows, full)
+        cb, cr, ccnt, ce = sweep(rows, [fullN], [d])
+        rec_frontier(fullN, d, 1, 0, (cb[0], cr[0], ccnt[0], ce[0]))
+    else:
+        rec(full, d, 1, 0)
     ctr.function_calls += acc[0]
     ctr.leaves += acc[1]
     ctr.index_lookups += (acc[3] + acc[4]) * lw

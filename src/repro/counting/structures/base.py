@@ -46,16 +46,35 @@ def build_local_rows(
         kernel = resolve_kernel("bigint")
     d = int(out.size)
     rows = kernel.alloc_rows(d)
-    build_words = 0.0
-    for i in range(d):
-        nbrs = g.neighbors(int(out[i]))
-        build_words += float(nbrs.size)
-        idx = np.searchsorted(out, nbrs)
+    if d == 0:
+        return rows, 0.0
+    # Gather every member's whole neighbor list in one pass (pure
+    # indptr arithmetic — no per-row Python loop), intersect with
+    # ``out`` via a single batched searchsorted, then hand the hits to
+    # the kernel as one CSR-shaped ``load_rows`` call.
+    starts = g.indptr[out]
+    lens = g.indptr[out + 1] - starts
+    total = int(lens.sum())
+    build_words = float(total)
+    row_counts = np.zeros(d, dtype=np.int64)
+    sel = np.zeros(0, dtype=np.int64)
+    if total:
+        off = np.cumsum(lens) - lens
+        pos = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(off, lens)
+            + np.repeat(starts, lens)
+        )
+        nbrs_all = g.indices[pos]
+        idx = np.searchsorted(out, nbrs_all)
         idx_clipped = np.minimum(idx, d - 1)
-        hit = out[idx_clipped] == nbrs
+        hit = out[idx_clipped] == nbrs_all
+        row_of = np.repeat(np.arange(d, dtype=np.int64), lens)
         sel = idx_clipped[hit]
-        if sel.size:
-            kernel.set_row(rows, i, sel)
+        row_counts = np.bincount(row_of[hit], minlength=d)
+    indptr = np.zeros(d + 1, dtype=np.int64)
+    np.cumsum(row_counts, out=indptr[1:])
+    kernel.load_rows(rows, indptr, sel)
     return rows, build_words
 
 
@@ -159,6 +178,30 @@ class SubgraphStructure(abc.ABC):
     @abc.abstractmethod
     def build(self, v: int) -> RootContext:
         """Induce the first-level subgraph for root ``v``."""
+
+    def estimate(self, v: int) -> tuple[int, float, int] | None:
+        """Predict ``(d, build_words, memory_bytes)`` of ``build(v)``
+        *without* building.
+
+        Engines use this for degree-based candidate pruning (Lonkar &
+        Beamer's communication-reducing trick): a root whose
+        out-degree already rules out any k-clique is charged exactly
+        the counters a real build would have produced and then skipped
+        before ``alloc_rows``.  Returns ``None`` when the structure
+        cannot predict its build charge exactly — pruning is then
+        disabled so counters stay backend- and path-invariant.
+        """
+        return None
+
+    def _estimate_build_words(self, v: int) -> tuple[int, float]:
+        """Shared ``(d, first-level induction words)`` prediction: the
+        sum of undirected degrees over the out-neighborhood — exactly
+        what :func:`build_local_rows` charges."""
+        out = self.dag.neighbors(v)
+        d = int(out.size)
+        if d == 0:
+            return 0, 0.0
+        return d, float(np.sum(self.graph.degrees[out]))
 
     def bitset_bytes(self, d: int) -> int:
         """Footprint of the ``d x d`` bitset adjacency itself."""

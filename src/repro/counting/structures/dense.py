@@ -38,6 +38,10 @@ class DenseStructure(SubgraphStructure):
         self._slots: list[int] = [0] * graph.num_vertices
         self._touched: list[int] = []
 
+    def estimate(self, v: int) -> tuple[int, float, int]:
+        d, words = self._estimate_build_words(v)
+        return d, words, 8 * self.graph.num_vertices + self.bitset_bytes(d)
+
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)

@@ -25,6 +25,10 @@ class RemapStructure(SubgraphStructure):
     name = "remap"
     lookup_weight = 1.0
 
+    def estimate(self, v: int) -> tuple[int, float, int]:
+        d, words = self._estimate_build_words(v)
+        return d, words + 1.2 * d, 8 * d + self.bitset_bytes(d)
+
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)

@@ -29,6 +29,10 @@ class SparseStructure(SubgraphStructure):
     name = "sparse"
     lookup_weight = 1.2
 
+    def estimate(self, v: int) -> tuple[int, float, int]:
+        d, words = self._estimate_build_words(v)
+        return d, words, _HASH_ENTRY_BYTES * d + self.bitset_bytes(d)
+
     def build(self, v: int) -> RootContext:
         out = self.dag.neighbors(v)
         d = int(out.size)

@@ -1,0 +1,222 @@
+"""Opt-in numba JIT backend — the tier-2 nopython word-tile kernels.
+
+``kernel="numba"`` compiles the fused frontier kernels
+(:meth:`pivot_select_sweep`, :meth:`expand_children`, the batched
+``intersect_count_sweep``) as nopython loops over the same ``(d,
+words)`` uint64 tiles the word-array backend uses — no NumPy temporary
+tile, no per-mask interpreter dispatch, and genuine early exit inside
+the pivot scan (the word-array backend can only *emulate* the exit in
+its work accounting).  Everything else — storage, the big-int mirror,
+the scalar single-row ops — is inherited from
+:class:`~repro.kernels.wordarray.WordArrayKernel`, so the backend is a
+drop-in member of the registry and the differential suite holds it to
+the same bit-identical contract.
+
+numba is an *optional* dependency (the ``[jit]`` extra).  When it is
+missing, this module still imports cleanly: the ``@_njit`` decorator
+degrades to identity, the kernel cores below stay callable as plain
+Python (the property suite uses that to check core semantics without a
+JIT), and instantiating :class:`NumbaKernel` raises
+:class:`~repro.errors.KernelUnavailableError` carrying the original
+import failure — :func:`repro.kernels.resolve_kernel` turns that into
+a graceful fallback to the word-array backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import KernelUnavailableError
+from repro.kernels.wordarray import WordArrayKernel, _WordRows
+
+__all__ = ["NumbaKernel", "numba_unavailable_reason"]
+
+try:  # pragma: no cover - depends on the host environment
+    from numba import njit as _njit
+
+    _NUMBA_ERROR: str | None = None
+except Exception as exc:  # ImportError, or a broken numba install
+    _NUMBA_ERROR = f"{type(exc).__name__}: {exc}"
+
+    def _njit(*args, **kwargs):
+        """Identity decorator: cores stay plain-Python callable."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def numba_unavailable_reason() -> str | None:
+    """Why the numba backend cannot run here (``None`` when it can)."""
+    return _NUMBA_ERROR
+
+
+if _NUMBA_ERROR is None:  # pragma: no cover - requires numba
+
+    @_njit(cache=True)
+    def _popcount64(x: np.uint64) -> np.int64:
+        x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+        x = (x & np.uint64(0x3333333333333333)) + (
+            (x >> np.uint64(2)) & np.uint64(0x3333333333333333)
+        )
+        x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        return np.int64((x * np.uint64(0x0101010101010101)) >> np.uint64(56))
+
+else:
+
+    def _popcount64(x) -> int:
+        # Pure-Python parity path: exact popcount via CPython.
+        return int(x).bit_count()
+
+
+@_njit(cache=True)
+def _pivot_sweep_core(mat, M, pcs):
+    """Nopython pivot scan over a stacked mask block.
+
+    ``mat`` is the ``(d, words)`` row tile, ``M`` the ``(F, words)``
+    candidate masks, ``pcs`` their popcounts.  Replicates the scalar
+    big-int scan exactly: ascending local-id order, first-maximum
+    tie-break, genuine early exit at the first perfect pivot, and
+    ``edge_sum`` charging only the rows actually scanned.
+    """
+    F = M.shape[0]
+    d = mat.shape[0]
+    words = mat.shape[1]
+    pos = np.full(F, -1, dtype=np.int64)
+    cnts = np.full(F, -1, dtype=np.int64)
+    edges = np.zeros(F, dtype=np.int64)
+    best_rows = np.zeros((F, words), dtype=np.uint64)
+    for j in range(F):
+        best = -1
+        best_cnt = -1
+        edge = 0
+        for i in range(d):
+            if (M[j, i >> 6] >> np.uint64(i & 63)) & np.uint64(1):
+                c = 0
+                for w in range(words):
+                    c += _popcount64(mat[i, w] & M[j, w])
+                edge += c
+                if c > best_cnt:
+                    best_cnt = c
+                    best = i
+                    if c == pcs[j] - 1:
+                        break  # perfect pivot
+        pos[j] = best
+        cnts[j] = best_cnt
+        edges[j] = edge
+        if best >= 0:
+            for w in range(words):
+                best_rows[j, w] = mat[best, w] & M[j, w]
+    return pos, best_rows, cnts, edges
+
+
+@_njit(cache=True)
+def _expand_core(mat, P0, ws):
+    """Nopython branch expansion: child masks + popcounts for the
+    ascending branch vertices ``ws`` under candidate words ``P0``
+    (already excluding the pivot), dropping earlier branch vertices
+    exactly like the scalar loop's ``P ^= low``."""
+    m = ws.shape[0]
+    words = mat.shape[1]
+    children = np.zeros((m, words), dtype=np.uint64)
+    ccs = np.zeros(m, dtype=np.int64)
+    live = P0.copy()
+    for t in range(m):
+        w = ws[t]
+        c = 0
+        for q in range(words):
+            x = mat[w, q] & live[q]
+            children[t, q] = x
+            c += _popcount64(x)
+        ccs[t] = c
+        live[w >> 6] &= ~(np.uint64(1) << np.uint64(w & 63))
+    return children, ccs
+
+
+@_njit(cache=True)
+def _sweep_core(mat, M):
+    """Nopython frontier intersect/popcount sweep: every mask over
+    every row, one pass."""
+    F = M.shape[0]
+    d = mat.shape[0]
+    words = mat.shape[1]
+    inter = np.zeros((F, d, words), dtype=np.uint64)
+    counts = np.zeros((F, d), dtype=np.int64)
+    for j in range(F):
+        for i in range(d):
+            c = 0
+            for w in range(words):
+                x = mat[i, w] & M[j, w]
+                inter[j, i, w] = x
+                c += _popcount64(x)
+            counts[j, i] = c
+    return inter, counts
+
+
+class NumbaKernel(WordArrayKernel):
+    """numba nopython kernels over the word-array storage layout."""
+
+    name = "numba"
+    frontier = True
+
+    def __init__(self) -> None:
+        if _NUMBA_ERROR is not None:
+            raise KernelUnavailableError("numba", _NUMBA_ERROR)
+        super().__init__()
+
+    # ------------------------------------------------------------------
+    # frontier kernels — nopython cores
+    # ------------------------------------------------------------------
+    def pivot_select_sweep(
+        self, rows: _WordRows, masks: Sequence[Any], pcs: Sequence[int]
+    ) -> tuple[Sequence[int], Sequence[Any], Sequence[int], Sequence[int]]:
+        F = len(masks)
+        if F == 0 or rows.d == 0 or min(pcs) < 1:
+            return WordArrayKernel.pivot_select_sweep(self, rows, masks, pcs)
+        M = np.stack([self.to_native(rows, m) for m in masks])
+        pcs_a = np.asarray(pcs, dtype=np.int64)
+        pos, best_rows, cnts, edges = _pivot_sweep_core(rows.mat, M, pcs_a)
+        return (
+            [int(b) for b in pos],
+            list(best_rows),
+            [int(c) for c in cnts],
+            [int(e) for e in edges],
+        )
+
+    def expand_children(
+        self, rows: _WordRows, P: Any, best: int, best_row: Any
+    ) -> tuple[list[int], list[Any], list[int]]:
+        P0 = self.mask_int(rows, P) & ~(1 << best)
+        cand = P0 & ~self.mask_int(rows, best_row)
+        if cand == 0:
+            return [], [], []
+        ws_a = self._mask_bits(rows, cand)
+        P0w = np.frombuffer(
+            P0.to_bytes(rows.nbytes_row, "little"), dtype=np.uint64
+        ).copy()
+        children, ccs = _expand_core(rows.mat, P0w, ws_a)
+        return (
+            [int(w) for w in ws_a],
+            list(children),
+            [int(c) for c in ccs],
+        )
+
+    def _frontier_sweep(
+        self, rows: _WordRows, masks: Sequence[Any]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        M = np.stack([self.to_native(rows, m) for m in masks])
+        return _sweep_core(rows.mat, M)
+
+    def sweep_entry(
+        self, rows: _WordRows, batch: Any, j: int, i: int
+    ) -> tuple[int, int]:
+        inter, counts = batch
+        return (
+            int.from_bytes(inter[j, i].tobytes(), "little"),
+            int(counts[j, i]),
+        )

@@ -3,9 +3,11 @@
 Forty seeded random graphs (R-MAT, Chung-Lu, planted-clique overlays)
 are counted by every engine {SCT, Pivoter baseline, Arb-Count
 enumeration} over every subgraph structure {dense, sparse, remap} and
-every bitset-kernel backend {bigint, wordarray}, for target-k and
-all-k runs.  Every combination must return *exactly* the same counts,
-anchored to the brute-force reference at k = 3 and 4; and the
+every bitset-kernel backend registered *and runnable here* (bigint,
+wordarray, and numba when the ``[jit]`` extra is installed — an
+unavailable optional backend is a skip, not a failure), for target-k
+and all-k runs.  Every combination must return *exactly* the same
+counts, anchored to the brute-force reference at k = 3 and 4; and the
 instrumentation :class:`~repro.counting.counters.Counters` must be
 bit-identical across backends, because the performance model may never
 be able to tell which backend produced a run.
@@ -22,7 +24,7 @@ from repro.counting import (
     count_kcliques_enumeration,
 )
 from repro.counting.pivoter import run_pivoter
-from repro.kernels import KERNELS
+from repro.kernels import KERNELS, available_kernels
 
 from tests.corpus import GRAPHS as _GRAPHS
 from tests.corpus import IDS as _IDS
@@ -30,7 +32,16 @@ from tests.corpus import ordering as _ordering
 from tests.corpus import truth as _truth
 
 STRUCTURES_ALL = ("dense", "sparse", "remap")
-BACKENDS = tuple(sorted(KERNELS))  # ("bigint", "wordarray")
+#: Every *runnable* registered backend auto-enrolls (numba included
+#: when importable); see test_registry_covers_backends for the check
+#: that nothing silently drops out of the registry itself.
+BACKENDS = tuple(available_kernels())
+
+
+def test_registry_covers_backends():
+    assert set(BACKENDS) <= set(KERNELS)
+    assert {"bigint", "wordarray"} <= set(BACKENDS)
+    assert "numba" in KERNELS  # registered even when not importable
 
 
 def test_suite_shape():
