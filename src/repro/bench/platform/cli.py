@@ -34,7 +34,7 @@ from repro.bench.platform.store import RunStore
 __all__ = ["add_bench_parser", "cmd_bench", "GATED_BENCHES"]
 
 #: The benches migrated onto the run store (``bench run all``).
-GATED_BENCHES = ("kernels", "forest", "obs", "parallel", "shard")
+GATED_BENCHES = ("kernels", "forest", "obs", "parallel", "shard", "dynamic")
 
 #: Environment override for where the ``bench_*.py`` scripts live.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"

@@ -9,6 +9,8 @@ Commands
 ``report``    regenerate EXPERIMENTS.md
 ``figures``   render every paper figure as SVG
 ``validate``  graph health report (invariants, degeneracy, components)
+``stream``    apply an edge-edit stream batch-by-batch, serving counts
+              from an incrementally patched forest (see docs/dynamic.md)
 ``bench``     benchmark run store: run, compare, promote baselines
               (see docs/benchmarking.md)
 
@@ -20,6 +22,7 @@ Examples::
     python -m repro count --dataset orkut -k 9 --max-nodes 100000 --degrade
     python -m repro dist --dataset dblp --checkpoint run.ckpt
     python -m repro dist --dataset dblp --checkpoint run.ckpt --resume
+    python -m repro stream --dataset dblp --edits edits.txt -k 5 --batch-size 16
     python -m repro orderings --dataset skitter
 
 Exit codes: 0 success, 2 usage/input error, 3 budget exhausted without
@@ -168,6 +171,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate", help="graph health report")
     add_graph_source(p_val)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="incremental counts under an edge-edit stream "
+             "(see docs/dynamic.md)",
+    )
+    add_graph_source(p_stream)
+    p_stream.add_argument(
+        "--edits", required=True, metavar="PATH",
+        help="edit file: one '+ u v' (insert) or '- u v' (delete) per "
+             "line, applied in order; '#' starts a comment",
+    )
+    p_stream.add_argument(
+        "-k", type=int, default=None,
+        help="report this clique size after each batch "
+             "(default: the full distribution)",
+    )
+    p_stream.add_argument("--max-k", type=int, default=None,
+                          help="cap the reported distribution")
+    p_stream.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="edits applied per batch (default: the whole file as one "
+             "batch); counts are emitted after every batch",
+    )
+    p_stream.add_argument(
+        "--policy", choices=("patch", "reorder", "auto"), default="patch",
+        help="patch: keep the build-time order, recompute only dirty "
+             "roots (default); reorder: full rebuild under a fresh "
+             "degeneracy order each batch; auto: patch until cumulative "
+             "edits exceed --reorder-ratio x |E|",
+    )
+    p_stream.add_argument("--reorder-ratio", type=float, default=0.25,
+                          metavar="R",
+                          help="auto-policy patch budget as a fraction "
+                               "of |E| (default 0.25)")
+    p_stream.add_argument(
+        "--structure", choices=("dense", "sparse", "remap"), default="remap"
+    )
+    p_stream.add_argument(
+        "--kernel", choices=("bigint", "wordarray", "numba"),
+        default="bigint",
+        help="bitset-kernel backend for the counting hot path",
+    )
+    add_resilience(p_stream)
 
     from repro.bench.platform.cli import add_bench_parser
 
@@ -449,6 +496,59 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.core import PivotScaleConfig
+    from repro.counting.dynamic import iter_batches, read_edit_file
+    from repro.counting.forest import get_forest
+    from repro.ordering import core_ordering
+
+    g, _ = _load_graph(args)
+    # Budgets/checkpointing apply per batch: each batch gets a fresh
+    # controller on the same checkpoint path, so a killed batch resumes
+    # its dirty-root recomputation and later batches start clean.
+    cfg = PivotScaleConfig(
+        structure=args.structure,
+        kernel=args.kernel,
+        dynamic=args.policy,
+        reorder_ratio=args.reorder_ratio,
+        deadline_seconds=args.deadline,
+        max_nodes=args.max_nodes,
+        max_memory_bytes=args.max_memory,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        degrade=args.degrade,
+    )
+    edits = read_edit_file(args.edits)
+    forest = get_forest(g, core_ordering(g), cfg.structure, cfg.kernel)
+    print(f"graph: {g}")
+    print(f"forest: {forest.num_leaves:,} leaves")
+    _stream_counts(forest, args)
+    for i, batch in enumerate(iter_batches(edits, args.batch_size), 1):
+        ctl = cfg.make_controller()
+        rep = forest.apply_edits(
+            batch, policy=cfg.dynamic, reorder_ratio=cfg.reorder_ratio,
+            controller=ctl,
+        )
+        how = "reordered" if rep.reordered else "patched"
+        print(f"batch {i}: +{len(rep.added)} -{len(rep.removed)} edges "
+              f"(skipped {rep.skipped}) | {rep.dirty_roots.size} dirty, "
+              f"{rep.roots_recomputed} recomputed ({how}) | "
+              f"{forest.num_leaves:,} leaves")
+        _stream_counts(forest, args)
+        if ctl is not None:
+            _print_budget(ctl.spent_snapshot())
+    return 0
+
+
+def _stream_counts(forest, args) -> None:
+    if args.k is not None:
+        print(f"  {args.k}-cliques: {forest.count(args.k):,}")
+        return
+    for k, c in enumerate(forest.count_all(args.max_k)):
+        if k >= 1 and c:
+            print(f"  k={k:3d}: {c:,}")
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.platform.cli import cmd_bench
 
@@ -494,6 +594,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "figures": _cmd_figures,
         "validate": _cmd_validate,
+        "stream": _cmd_stream,
         "bench": _cmd_bench,
     }
     finish = _setup_observability(args)

@@ -104,6 +104,17 @@ class PivotScaleConfig:
         Bounded retries per failed shard (respill + recount with
         seeded exponential backoff) before the degradation ladder
         engages (default 3).
+    dynamic:
+        Edge-stream update policy for materialized forests (see
+        :mod:`repro.counting.dynamic`): ``None`` (default — static
+        graph, no incremental path), ``"patch"`` (keep the build-time
+        order, recompute only dirty roots), ``"reorder"`` (full
+        rebuild under a fresh degeneracy order on every batch), or
+        ``"auto"`` (patch until cumulative edits exceed
+        ``reorder_ratio x |E|``, then reorder).
+    reorder_ratio:
+        The ``"auto"`` policy's patch budget as a fraction of the
+        edited graph's edge count (default 0.25).
     """
 
     structure: str = "remap"
@@ -128,6 +139,8 @@ class PivotScaleConfig:
     shard_mb: float | None = None
     spill_dir: str | None = None
     shard_retries: int = 3
+    dynamic: str | None = None
+    reorder_ratio: float = 0.25
 
     def __post_init__(self) -> None:
         if self.structure not in ("dense", "sparse", "remap"):
@@ -175,6 +188,16 @@ class PivotScaleConfig:
             )
         if self.forest == "use" and self.forest_path is None:
             raise CountingError('forest="use" requires a forest_path')
+        if self.dynamic is not None:
+            from repro.counting.dynamic import POLICIES
+
+            if self.dynamic not in POLICIES:
+                raise CountingError(
+                    f"unknown dynamic policy {self.dynamic!r}; "
+                    f"expected one of {POLICIES} (or None)"
+                )
+        if self.reorder_ratio <= 0:
+            raise CountingError("reorder_ratio must be > 0")
 
     @property
     def wants_controller(self) -> bool:

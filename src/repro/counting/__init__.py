@@ -46,6 +46,12 @@ from repro.counting.forest import (
     get_forest,
     load_forest,
 )
+from repro.counting.dynamic import (
+    EditReport,
+    apply_edits,
+    dirty_roots,
+    read_edit_file,
+)
 from repro.counting.listing import list_kcliques
 from repro.counting.sampling import (
     ApproxCount,
@@ -82,6 +88,10 @@ __all__ = [
     "build_forest",
     "get_forest",
     "load_forest",
+    "EditReport",
+    "apply_edits",
+    "dirty_roots",
+    "read_edit_file",
     "list_kcliques",
     "ApproxCount",
     "sample_count_vertex",

@@ -163,6 +163,12 @@ class SCTForest:
         self.counters = counters
         self.descriptor = dict(descriptor)
         self.degraded_from = degraded_from
+        # Bound build inputs (see :meth:`bind`) — what `apply_edits`
+        # edits against.  Loaded forests start unbound.
+        self._graph: CSRGraph | None = None
+        self._dag: CSRGraph | None = None
+        self._rank: np.ndarray | None = None
+        self._edits_since_reorder = 0
         self._finalize()
 
     # ------------------------------------------------------------------
@@ -194,6 +200,115 @@ class SCTForest:
     def has_members(self) -> bool:
         """Whether the member arrays survived (no memory spill)."""
         return self.held_members is not None and self.pivot_members is not None
+
+    # ------------------------------------------------------------------
+    # bound build inputs (the dynamic-update substrate)
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        *,
+        graph: CSRGraph | None = None,
+        dag: CSRGraph | None = None,
+        rank: np.ndarray | None = None,
+    ) -> "SCTForest":
+        """Attach the build inputs this forest materializes.
+
+        :meth:`build` / :func:`get_forest` call this automatically;
+        forests loaded from ``.npz`` stay unbound (the file stores only
+        fingerprints) and need explicit ``graph=`` / ``ordering=``
+        arguments to :meth:`apply_edits`.  Only the given fields are
+        updated.  Returns ``self``.
+        """
+        if graph is not None:
+            self._graph = graph
+        if dag is not None:
+            self._dag = dag
+        if rank is not None:
+            self._rank = np.asarray(rank, dtype=np.int64)
+        return self
+
+    @property
+    def graph(self) -> CSRGraph | None:
+        """The undirected graph this forest was built from (if bound)."""
+        return self._graph
+
+    @property
+    def dag(self) -> CSRGraph | None:
+        """The directionalized DAG the recursion ran over (if bound)."""
+        return self._dag
+
+    @property
+    def rank(self) -> np.ndarray | None:
+        """The rank permutation behind :attr:`dag` (if bound)."""
+        return self._rank
+
+    def apply_edits(
+        self,
+        edits,
+        *,
+        graph: CSRGraph | None = None,
+        ordering=None,
+        policy: str = "patch",
+        reorder_ratio: float = 0.25,
+        controller: RunController | None = None,
+    ):
+        """Apply a batch of edge insertions/deletions in place.
+
+        ``edits`` is an in-order sequence of ``("+"|"-", u, v)``
+        records; the batch's *net* effect against the bound graph is
+        applied (duplicates collapse, insert-then-delete cancels,
+        already-satisfied records are skipped).  Only the dirty roots —
+        those whose closed DAG out-neighborhood contains both endpoints
+        of some applied edit, in the old or new graph — are re-run
+        through the pivot recursion, and the flat leaf arrays are
+        patched in place, bit-identical to a from-scratch rebuild under
+        the same vertex order (``tests/test_dynamic.py``).
+
+        ``policy`` is one of ``"patch"`` (keep the build-time order;
+        default), ``"reorder"`` (full rebuild under a fresh degeneracy
+        order of the edited graph), or ``"auto"`` (patch until
+        cumulative edits since the last reorder exceed
+        ``reorder_ratio x |E|``).  A ``controller`` is honored at
+        dirty-root granularity with the usual budget/checkpoint/
+        degradation semantics.  The forest's descriptor fingerprints
+        (and its in-process cache slot, if any) are re-keyed to the
+        edited graph, so the pre-edit graph can never be served the
+        patched forest.  Returns an
+        :class:`~repro.counting.dynamic.EditReport`.
+        """
+        from repro.counting.dynamic import apply_edits as _apply_edits
+
+        return _apply_edits(
+            self, edits, graph=graph, ordering=ordering, policy=policy,
+            reorder_ratio=reorder_ratio, controller=controller,
+        )
+
+    def copy(self) -> "SCTForest":
+        """An independent deep copy (arrays, counters, bindings) —
+        edit one side freely, e.g. to compare incremental against
+        rebuilt, or to keep a pre-edit snapshot."""
+        dup = SCTForest(
+            num_vertices=self.num_vertices,
+            held_n=self.held_n.copy(),
+            pivot_n=self.pivot_n.copy(),
+            roots=self.roots.copy(),
+            held_members=(
+                None if self.held_members is None
+                else self.held_members.copy()
+            ),
+            pivot_members=(
+                None if self.pivot_members is None
+                else self.pivot_members.copy()
+            ),
+            per_root_work=self.per_root_work.copy(),
+            per_root_memory=self.per_root_memory.copy(),
+            counters=Counters.from_dict(self.counters.as_dict()),
+            descriptor=dict(self.descriptor),
+            degraded_from=self.degraded_from,
+        )
+        dup.bind(graph=self._graph, dag=self._dag, rank=self._rank)
+        dup._edits_since_reorder = self._edits_since_reorder
+        return dup
 
     @property
     def nbytes(self) -> int:
@@ -235,12 +350,17 @@ class SCTForest:
         """
         if graph.directed:
             raise CountingError("input graph must be undirected")
+        rank: np.ndarray | None = None
         if isinstance(ordering, CSRGraph):
             if not ordering.directed:
                 raise CountingError("pass a DAG or an ordering, not a 2nd graph")
             dag = ordering
         else:
             dag = directionalize(graph, ordering)
+            rank = np.asarray(
+                ordering.rank if isinstance(ordering, Ordering) else ordering,
+                dtype=np.int64,
+            )
         if isinstance(structure, SubgraphStructure):
             struct = structure
         else:
@@ -251,9 +371,10 @@ class SCTForest:
                     f"unknown structure {structure!r}; "
                     f"expected one of {sorted(STRUCTURES)}"
                 ) from None
-        return cls._build_impl(
+        forest = cls._build_impl(
             graph, dag, struct, controller=controller, members=members
         )
+        return forest.bind(graph=graph, dag=dag, rank=rank)
 
     @classmethod
     def _build_impl(
@@ -988,6 +1109,37 @@ def clear_forest_cache() -> None:
     _CACHE.clear()
 
 
+def _descriptor_cache_key(descriptor: dict) -> tuple:
+    return (
+        descriptor.get("graph_fingerprint"),
+        descriptor.get("dag_fingerprint"),
+        descriptor.get("structure"),
+        descriptor.get("kernel"),
+        bool(descriptor.get("members")),
+    )
+
+
+def _rekey_cached_forest(forest: SCTForest, old_descriptor: dict) -> None:
+    """Move a just-edited forest's cache slot to its new fingerprints.
+
+    ``apply_edits`` patches the forest object *in place*, so if that
+    object is sitting in the in-process cache it is now filed under the
+    **pre-edit** graph's fingerprints — and the pre-edit graph is
+    usually still alive, so a later ``get_forest`` on it would be
+    served the edited (wrong) forest.  Pop the old slot (only when it
+    holds this exact object) and re-file under the post-edit
+    descriptor.  No-op for uncached forests.
+    """
+    old_key = _descriptor_cache_key(old_descriptor)
+    entry = _CACHE.pop(old_key, None)
+    if entry is None:
+        return
+    if entry is not forest:
+        _CACHE[old_key] = entry  # someone else's (correct) forest
+        return
+    _CACHE[_descriptor_cache_key(forest.descriptor)] = forest
+
+
 def build_forest(
     graph: CSRGraph,
     ordering: Ordering | np.ndarray | CSRGraph,
@@ -1037,6 +1189,16 @@ def get_forest(
     forest = SCTForest.build(
         graph, dag, structure, kern, controller=controller, members=members
     )
+    if not isinstance(ordering, CSRGraph):
+        # build() saw only the DAG; keep the rank so apply_edits can
+        # maintain the order without re-deriving it.
+        forest.bind(
+            rank=np.asarray(
+                ordering.rank if isinstance(ordering, Ordering)
+                else ordering,
+                dtype=np.int64,
+            )
+        )
     if cache:
         _CACHE[key] = forest
         while len(_CACHE) > _CACHE_MAX:

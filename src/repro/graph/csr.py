@@ -37,7 +37,7 @@ class CSRGraph:
         that construct rows correctly by construction pass ``False``.
     """
 
-    __slots__ = ("indptr", "indices", "directed", "_degrees")
+    __slots__ = ("indptr", "indices", "directed", "_degrees", "_fp")
 
     def __init__(
         self,
@@ -67,6 +67,7 @@ class CSRGraph:
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         self._degrees.setflags(write=False)
+        self._fp: str | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -135,6 +136,36 @@ class CSRGraph:
         if self.num_vertices == 0:
             return 0.0
         return self.indices.size / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def _compute_fp(self) -> str:
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.indptr).tobytes())
+        h.update(np.ascontiguousarray(self.indices).tobytes())
+        h.update(b"directed" if self.directed else b"undirected")
+        return h.hexdigest()[:16]
+
+    def fingerprint(self) -> str:
+        """Stable structural identity (the checkpoint / forest-cache
+        fingerprint — see :func:`repro.runtime.checkpoint.graph_fingerprint`).
+
+        Memoized: the arrays are write-locked at construction, so the
+        digest cannot go stale.  If someone force-unlocks and mutates
+        the arrays anyway (``setflags(write=True)``), the memo is
+        dropped and recomputed per call — a mutated graph can never be
+        served a cached fingerprint (guarded by
+        ``tests/test_dynamic.py``).
+        """
+        if self.indptr.flags.writeable or self.indices.flags.writeable:
+            self._fp = None
+            return self._compute_fp()
+        if self._fp is None:
+            self._fp = self._compute_fp()
+        return self._fp
 
     # ------------------------------------------------------------------
     # queries

@@ -60,7 +60,16 @@ CHECKPOINT_VERSION = 1
 
 
 def graph_fingerprint(g) -> str:
-    """Stable identity of a CSR graph (structure, not object)."""
+    """Stable identity of a CSR graph (structure, not object).
+
+    Delegates to :meth:`CSRGraph.fingerprint
+    <repro.graph.csr.CSRGraph.fingerprint>` when available (memoized
+    on the immutable arrays, mutation-safe); the inline fallback keeps
+    duck-typed graph stand-ins working.
+    """
+    fp = getattr(g, "fingerprint", None)
+    if fp is not None:
+        return fp()
     h = hashlib.sha256()
     h.update(np.ascontiguousarray(g.indptr).tobytes())
     h.update(np.ascontiguousarray(g.indices).tobytes())

@@ -2,13 +2,26 @@
 
 Forty small seeded graphs spanning the three generator families
 (R-MAT, Chung-Lu, planted-clique overlays) that every differential
-suite runs over: the cross-engine suite in ``test_differential.py``
-and the materialized-forest suite in ``test_forest.py``.  Ground
-truth (brute force) and core orderings are cached lazily per graph so
-the suites share the expensive parts.
+suite runs over: the cross-engine suite in ``test_differential.py``,
+the materialized-forest suite in ``test_forest.py``, and the
+incremental edit-stream suite in ``test_dynamic.py``.  Ground truth
+(brute force) and core orderings are cached lazily per graph so the
+suites share the expensive parts.
+
+:func:`edit_stream` adds **versioned edit-sequence fixtures**: per
+graph, a deterministic stream of insert/delete batches (mixed batch
+sizes, duplicate records, guaranteed no-ops, one empty batch) derived
+from committed seeds — so later PRs (service layer, distributed
+shards) replay byte-for-byte the same streams this PR's differential
+harness was held to.  Bump :data:`EDIT_STREAM_VERSION` (and add a new
+seed entry) to change the streams; never mutate an existing version.
 """
 
 from __future__ import annotations
+
+import zlib
+
+import numpy as np
 
 from repro.counting import brute_force_count
 from repro.graph.generators import (
@@ -67,3 +80,83 @@ def truth(name, g, k):
     if k not in per:
         per[k] = brute_force_count(g, k)
     return per[k]
+
+
+# ----------------------------------------------------------------------
+# versioned edit-sequence fixtures (see module docstring)
+# ----------------------------------------------------------------------
+EDIT_STREAM_VERSION = 1
+
+#: Committed per-version base seeds.  The per-graph stream seed is
+#: ``base ^ crc32(name)`` — stable across Python processes (never use
+#: the builtin ``hash``, it is salted per interpreter run).
+_EDIT_STREAM_SEEDS = {1: 0x5C7ED17}
+
+
+def edit_stream(name, g, *, version=EDIT_STREAM_VERSION, batches=6,
+                max_batch=8):
+    """The committed edit stream for corpus graph ``(name, g)``.
+
+    Returns a list of ``batches`` batches, each an in-order list of
+    ``("+"|"-", u, v)`` records.  Deterministic in ``(name, version,
+    batches, max_batch)`` alone.  By construction the stream exercises
+    the full edit model: inserts of absent and *present* edges
+    (no-ops), deletes of present and *absent* edges (no-ops),
+    duplicate records inside one batch, occasional brand-new vertex
+    ids (growth), and one guaranteed empty batch.
+    """
+    base = _EDIT_STREAM_SEEDS[version]
+    rng = np.random.default_rng((base ^ zlib.crc32(name.encode())) & 0xFFFFFFFF)
+    n = g.num_vertices
+    # Track presence so deletes can target real edges as the stream
+    # compounds across batches.
+    present = {(int(u), int(v)) for u, v in g.edge_array()}
+    hi = n  # growth frontier
+    empty_at = int(rng.integers(0, batches))
+    stream = []
+    for b in range(batches):
+        if b == empty_at:
+            stream.append([])
+            continue
+        batch = []
+        for _ in range(int(rng.integers(1, max_batch + 1))):
+            roll = rng.random()
+            if roll < 0.45 or not present:
+                # insert; ~1 in 6 of these targets a fresh vertex id
+                if rng.random() < 0.17:
+                    u, v = hi, int(rng.integers(0, hi))
+                    hi += 1
+                else:
+                    u, v = (int(x) for x in rng.integers(0, hi, 2))
+                    if u == v:
+                        v = (u + 1) % hi
+                op = "+"
+            elif roll < 0.80:
+                # delete a currently-present edge
+                u, v = sorted(present)[int(rng.integers(0, len(present)))]
+                op = "-"
+            else:
+                # deliberate no-op: delete an absent pair
+                u, v = (int(x) for x in rng.integers(0, hi, 2))
+                if u == v:
+                    v = (u + 1) % hi
+                op = "-"
+                if (min(u, v), max(u, v)) in present:
+                    op = "+"  # present: a no-op insert instead
+            batch.append((op, u, v))
+            if rng.random() < 0.15:  # duplicate record in-batch
+                batch.append((op, u, v))
+            key = (min(u, v), max(u, v))
+            if op == "+":
+                present.add(key)
+            else:
+                present.discard(key)
+        stream.append(batch)
+    return stream
+
+
+def edit_stream_digest(name, g, **kwargs):
+    """Stable digest of a graph's stream — pins the fixture bytes so an
+    accidental generator change fails loudly (``test_dynamic.py``)."""
+    payload = repr(edit_stream(name, g, **kwargs)).encode()
+    return format(zlib.crc32(payload), "08x")
